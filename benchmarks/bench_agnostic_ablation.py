@@ -1,0 +1,50 @@
+"""§10 future work — information-agnostic Lyra, quantified.
+
+The paper closes by planning to investigate scheduling "without knowing
+jobs' running time a priori".  This ablation runs the runtime-oblivious
+variant (least-attained-service phase one, throughput-gain phase two)
+against full Lyra and the Baseline: it must recover a substantial part of
+Lyra's gain while consulting no runtime estimate anywhere.
+"""
+
+from benchmarks.bench_util import emit, get_setup, reductions_vs, run_cached
+
+
+def build():
+    setup = get_setup()
+    return {
+        "Baseline": run_cached(setup, "baseline"),
+        "Lyra (oracle runtimes)": run_cached(setup, "lyra"),
+        "Lyra (information-agnostic)": run_cached(setup, "lyra_agnostic"),
+    }
+
+
+def bench_agnostic_ablation(benchmark):
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    baseline = results["Baseline"]
+    rows = []
+    for name, metrics in results.items():
+        q_red, jct_red = reductions_vs(baseline, metrics)
+        rows.append(
+            [
+                name,
+                metrics.queuing_summary().mean,
+                metrics.jct_summary().mean,
+                q_red,
+                jct_red,
+                metrics.preemption_ratio,
+            ]
+        )
+    emit(
+        "agnostic", "§10 ablation: information-agnostic Lyra",
+        ["scheme", "queue mean", "jct mean", "queue red.", "jct red.",
+         "preempt"],
+        rows,
+    )
+    oracle = results["Lyra (oracle runtimes)"]
+    agnostic = results["Lyra (information-agnostic)"]
+    # Agnostic beats the Baseline on both metrics...
+    assert agnostic.queuing_summary().mean < baseline.queuing_summary().mean
+    assert agnostic.jct_summary().mean < baseline.jct_summary().mean
+    # ...but runtime knowledge is worth something: oracle Lyra leads.
+    assert oracle.jct_summary().mean <= agnostic.jct_summary().mean * 1.05

@@ -1,0 +1,94 @@
+"""Table 1 ablation — the three server-preemption-cost definitions.
+
+§4 argues that job count and GPU fraction mis-rank servers whose jobs
+span machines, and picks the *server fraction* definition.  This bench
+runs the greedy reclaimer under all three cost models over randomized
+instances (plus the paper's Fig. 5 example) and counts preemptions: the
+server-fraction model must never lose on average.
+"""
+
+import random
+
+from benchmarks.bench_util import emit
+from repro.cluster.gpu import V100
+from repro.cluster.server import Server
+from repro.core.reclaim import CostModel, plan_reclaim_lyra
+
+from tests.conftest import make_job
+from tests.test_reclaim import fig5_instance
+
+
+def random_instance(seed: int, servers: int = 8):
+    rng = random.Random(seed)
+    machines = [
+        Server(server_id=f"s{i}", gpu_type=V100, on_loan=True,
+               home_cluster="inference")
+        for i in range(servers)
+    ]
+    jobs = {}
+    for job_id in range(rng.randint(3, 9)):
+        job = make_job(job_id=job_id, max_workers=16)
+        jobs[job_id] = job
+        for server in rng.sample(machines, rng.randint(1, 3)):
+            workers = min(rng.randint(1, 4), server.free_gpus)
+            if workers > 0:
+                job.record_placement(server.server_id, workers,
+                                     flexible=False)
+                server.allocate(job_id, workers)
+    return machines, jobs
+
+
+def build(instances: int = 60):
+    totals = {model: 0 for model in CostModel}
+    wins = {model: 0 for model in CostModel}
+    for seed in range(instances):
+        machines, jobs = random_instance(seed)
+        count = random.Random(seed).randint(2, 4)
+        preemptions = {}
+        for model in CostModel:
+            plan = plan_reclaim_lyra(machines, jobs, count, cost_model=model)
+            preemptions[model] = plan.num_preemptions
+            totals[model] += plan.num_preemptions
+        best = min(preemptions.values())
+        for model, value in preemptions.items():
+            if value == best:
+                wins[model] += 1
+
+    # the paper's worked example
+    fig5 = {}
+    for model in CostModel:
+        servers, jobs = fig5_instance()
+        fig5[model] = plan_reclaim_lyra(
+            servers, jobs, 2, cost_model=model
+        ).num_preemptions
+    return totals, wins, fig5, instances
+
+
+def bench_cost_model_ablation(benchmark):
+    totals, wins, fig5, instances = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            model.value,
+            totals[model],
+            totals[model] / instances,
+            wins[model],
+            fig5[model],
+        ]
+        for model in CostModel
+    ]
+    emit(
+        "cost_models", "Table 1 ablation: preemption-cost definitions",
+        ["cost model", "total preemptions", "mean/instance", "ties-for-best",
+         "Fig.5 (Nr=2)"],
+        rows,
+    )
+    sf = CostModel.SERVER_FRACTION
+    # Lyra's choice never does worse in aggregate than either alternative.
+    assert totals[sf] <= totals[CostModel.JOB_COUNT]
+    assert totals[sf] <= totals[CostModel.GPU_FRACTION]
+    # And on the paper's own example it achieves the optimal single
+    # preemption while GPU-fraction pays two.
+    assert fig5[sf] == 1
+    assert fig5[CostModel.GPU_FRACTION] >= 2

@@ -1,0 +1,62 @@
+"""Figures 14 and 15 — gains versus the fraction of elastic jobs.
+
+Sweeping elastic jobs from 20 % to 100 % of the population (scaling-only,
+no loaning): every scheme's queuing and JCT reductions over Baseline grow,
+and Lyra delivers the largest gains — AFS tracks it on queuing (both admit
+base demand first) but trails on JCT; Pollux trails on queuing.
+"""
+
+from benchmarks.bench_util import emit, get_setup, reductions_vs, run_cached
+from repro.scenarios import apply_scenario, with_elastic_fraction
+
+SCHEMES = [
+    ("Gandiva", "gandiva"),
+    ("AFS", "afs"),
+    ("Pollux", "pollux"),
+    ("Lyra", "lyra_scaling"),
+    ("Lyra+Tuned", "lyra_tuned"),
+]
+
+FRACTIONS = (0.2, 0.6, 1.0)
+
+
+def build():
+    setup = get_setup()
+    base_specs = apply_scenario(setup.workload.specs, "basic")
+    queue_rows, jct_rows = [], []
+    gains = {}
+    for fraction in FRACTIONS:
+        specs = with_elastic_fraction(base_specs, fraction, seed=6)
+        baseline = run_cached(
+            setup, "baseline", specs=specs, cache_key=f"frac{fraction}"
+        )
+        q_row, j_row = [f"{fraction:.0%}"], [f"{fraction:.0%}"]
+        for name, scheme in SCHEMES:
+            metrics = run_cached(
+                setup, scheme, specs=specs, cache_key=f"frac{fraction}"
+            )
+            q_red, jct_red = reductions_vs(baseline, metrics)
+            gains[(fraction, name)] = (q_red, jct_red)
+            q_row.append(q_red)
+            j_row.append(jct_red)
+        queue_rows.append(q_row)
+        jct_rows.append(j_row)
+    return queue_rows, jct_rows, gains
+
+
+def bench_fig14_15_elastic_sweep(benchmark):
+    queue_rows, jct_rows, gains = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    headers = ["elastic %"] + [name for name, _ in SCHEMES]
+    emit("fig14", "Fig. 14: queuing-time reduction vs elastic fraction",
+         headers, queue_rows)
+    emit("fig15", "Fig. 15: JCT reduction vs elastic fraction",
+         headers, jct_rows)
+    # Lyra's JCT gain grows with the elastic share.
+    assert gains[(1.0, "Lyra")][1] >= gains[(0.2, "Lyra")][1] * 0.95
+    # At full elasticity Lyra leads Gandiva on both metrics.
+    assert gains[(1.0, "Lyra")][0] >= gains[(1.0, "Gandiva")][0]
+    assert gains[(1.0, "Lyra")][1] >= gains[(1.0, "Gandiva")][1]
+    # Tuning dominates plain Lyra on JCT at full elasticity.
+    assert gains[(1.0, "Lyra+Tuned")][1] >= gains[(1.0, "Lyra")][1] * 0.95

@@ -1,0 +1,47 @@
+"""Figure 3 — throughput scalability of the four elastic model families.
+
+Workers are doubled every five epochs starting from one worker; each of
+ResNet-50, VGG16, BERT and GNMT-16 must show near-linear aggregate
+throughput growth (which is what qualifies them for elastic scaling,
+§2.2).
+"""
+
+from benchmarks.bench_util import emit
+from repro.traces.models import ELASTIC_FAMILIES, fig3_series
+
+
+def build_series():
+    return {
+        family.name: fig3_series(family, epochs=30, double_every=5)
+        for family in ELASTIC_FAMILIES
+    }
+
+
+def bench_fig3_throughput_scaling(benchmark):
+    all_series = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    rows = []
+    for family in ELASTIC_FAMILIES:
+        series = all_series[family.name]
+        by_workers = {w: t for _, w, t in series}
+        rows.append(
+            [
+                family.name,
+                family.unit,
+                by_workers[1],
+                by_workers[2],
+                by_workers[4],
+                by_workers[8],
+                by_workers[32],
+                by_workers[32] / (32 * by_workers[1]),
+            ]
+        )
+    emit(
+        "fig3", "Fig. 3: elastic-family throughput, workers doubling every 5 epochs",
+        ["family", "unit", "w=1", "w=2", "w=4", "w=8", "w=32", "eff@32"],
+        rows,
+    )
+    for row in rows:
+        # throughput strictly increases with each doubling...
+        assert row[2] < row[3] < row[4] < row[5] < row[6]
+        # ...and stays near-linear (>=60 % parallel efficiency at 32).
+        assert row[7] >= 0.6

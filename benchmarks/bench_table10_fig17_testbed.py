@@ -1,0 +1,112 @@
+"""Table 10 and Figure 17 — the testbed experiment, replayed in simulation.
+
+The paper's testbed: four 8-GPU V100 training servers plus four 8-GPU T4
+inference servers, 180 jobs (10 elastic) submitted over 8 hours, running
+time 2 minutes - 2 hours, jobs larger than 16 GPUs excluded.  We rebuild
+that scenario as a simulation config (§7.2 shows the calibrated simulator
+tracks the real testbed within ~6 %) and reproduce the three row groups of
+Table 10 plus Fig. 17's preemption/collateral comparison.
+"""
+
+from dataclasses import replace
+
+from benchmarks.bench_util import emit, run_cached
+from repro.scenarios import ExperimentSetup
+from repro.traces.inference import generate_inference_trace
+from repro.traces.workload import TraceConfig, Workload, generate_workload
+
+
+def testbed_setup(seed: int = 7) -> ExperimentSetup:
+    config = TraceConfig(
+        num_jobs=180,
+        days=8 / 24,
+        cluster_gpus=32,
+        seed=seed,
+        target_load=1.0,
+        elastic_job_fraction=10 / 180,
+        elastic_resource_share=0.30,
+        elastic_mean_hours=1.0,
+    )
+    workload = generate_workload(config)
+    # Running times 2 min - 2 h; demand capped at 16 GPUs (50 % cluster).
+    specs = []
+    for s in workload.specs:
+        duration = min(max(s.duration, 120.0), 7200.0)
+        if s.max_gpus > 16:
+            workers = max(1, 16 // s.gpus_per_worker)
+            s = replace(
+                s,
+                max_workers=workers,
+                min_workers=min(s.min_workers, max(1, workers // 2))
+                if s.elastic
+                else workers,
+            )
+        specs.append(replace(s, duration=duration))
+    workload = Workload(specs=specs, config=config)
+    trace = generate_inference_trace(days=1.0, num_servers=4, seed=seed)
+    return ExperimentSetup(
+        workload=workload,
+        inference_trace=trace,
+        training_servers=4,
+        inference_servers=4,
+    )
+
+
+def build():
+    setup = testbed_setup()
+    table = {}
+    for name, scheme in [
+        ("Baseline", "baseline"),
+        ("Lyra", "lyra"),
+        ("CL/Random", "random_loaning"),
+        ("CL/SCF", "scf_loaning"),
+        ("CL/Lyra", "lyra_loaning"),
+        ("ES/Gandiva", "gandiva"),
+        ("ES/AFS", "afs"),
+        ("ES/Pollux", "pollux"),
+        ("ES/Lyra", "lyra_scaling"),
+    ]:
+        table[name] = run_cached(setup, scheme, cache_key="testbed")
+    return table
+
+
+def bench_table10_fig17_testbed(benchmark):
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for name, metrics in table.items():
+        q = metrics.queuing_summary()
+        j = metrics.jct_summary()
+        rows.append(
+            [name, q.mean, q.median, q.p95, j.mean, j.median, j.p95,
+             metrics.preemption_ratio]
+        )
+    emit(
+        "table10", "Table 10: testbed-scale results (4+4 servers, 180 jobs)",
+        ["scheme", "qmean", "qmed", "q95", "jct_mean", "jct_med", "jct95",
+         "preempt"],
+        rows,
+    )
+
+    fig17 = []
+    for name in ("CL/Random", "CL/SCF", "CL/Lyra", "Lyra"):
+        metrics = table[name]
+        fig17.append(
+            [name, metrics.preemptions, metrics.preemption_ratio,
+             metrics.mean_collateral()]
+        )
+    emit(
+        "fig17", "Fig. 17: testbed preemption and collateral damage",
+        ["scheme", "preemptions", "ratio", "collateral"],
+        fig17,
+    )
+
+    baseline, lyra = table["Baseline"], table["Lyra"]
+    # Lyra improves queuing and JCT on the testbed workload (paper:
+    # 1.38x queuing, 1.22x JCT).
+    assert lyra.queuing_summary().mean < baseline.queuing_summary().mean
+    assert lyra.jct_summary().mean < baseline.jct_summary().mean
+    # Lyra's reclaiming preempts no more than Random (Fig. 17).
+    assert (
+        table["CL/Lyra"].preemption_ratio
+        <= table["CL/Random"].preemption_ratio + 1e-9
+    )

@@ -1,0 +1,52 @@
+"""Table 8 — queuing time and JCT percentiles per scheme (Basic,
+scaling-only setting).
+
+The paper's distributional comparison: Lyra matches AFS on median queuing
+(both admit base demand first), beats Pollux on tail queuing (Pollux does
+not optimize queuing), and Lyra+TunedJobs leads every JCT percentile.
+"""
+
+from benchmarks.bench_util import emit, get_setup, run_cached
+
+
+SCHEMES = [
+    ("Baseline", "baseline"),
+    ("Gandiva", "gandiva"),
+    ("AFS", "afs"),
+    ("Pollux", "pollux"),
+    ("Lyra", "lyra_scaling"),
+    ("Lyra+TunedJobs", "lyra_tuned"),
+]
+
+
+def build():
+    setup = get_setup()
+    return {name: run_cached(setup, scheme) for name, scheme in SCHEMES}
+
+
+def bench_table8_percentiles(benchmark):
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for name, _ in SCHEMES:
+        metrics = results[name]
+        q = metrics.queuing_summary()
+        j = metrics.jct_summary()
+        rows.append(
+            [name, q.median, q.p75, q.p95, q.p99,
+             j.median, j.p75, j.p95, j.p99]
+        )
+    emit(
+        "table8", "Table 8: queuing/JCT percentiles (scaling-only, Basic)",
+        ["scheme", "q50", "q75", "q95", "q99", "jct50", "jct75", "jct95",
+         "jct99"],
+        rows,
+    )
+    lyra = results["Lyra"]
+    tuned = results["Lyra+TunedJobs"]
+    pollux = results["Pollux"]
+    baseline = results["Baseline"]
+    # Lyra improves tail queuing over Baseline and over Pollux.
+    assert lyra.queuing_summary().p95 < baseline.queuing_summary().p95
+    assert lyra.queuing_summary().p95 <= pollux.queuing_summary().p95 * 1.1
+    # Lyra+TunedJobs leads Lyra on p95 JCT (the §7.4 claim).
+    assert tuned.jct_summary().p95 <= lyra.jct_summary().p95 * 1.05

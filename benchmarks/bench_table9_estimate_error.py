@@ -1,0 +1,50 @@
+"""Table 9 — sensitivity to running-time estimation error.
+
+Lyra's SJF ordering and MCKP values rely on runtime predictions.  Here a
+growing fraction of jobs (20/40/60 %) get estimates wrong by a uniform
+factor within +/-25 %; the queuing/JCT reductions over Baseline must
+degrade only gracefully (the paper: still 1.76x queuing gain at 60 %
+wrong).
+"""
+
+from benchmarks.bench_util import emit, get_setup, reductions_vs, run_cached
+
+
+def build():
+    setup = get_setup()
+    baseline = run_cached(setup, "baseline")
+    rows = []
+    for wrong in (0.0, 0.2, 0.4, 0.6):
+        metrics = run_cached(
+            setup,
+            "lyra",
+            estimate_error=(wrong, 0.25) if wrong else None,
+            cache_key=f"err{wrong}",
+        )
+        q_red, jct_red = reductions_vs(baseline, metrics)
+        rows.append([f"{wrong:.0%}", q_red, jct_red])
+    # organic errors: the §3 profiler learns estimates online instead of
+    # receiving oracle durations
+    profiled = run_cached(
+        setup, "lyra", sim_overrides={"use_profiler": True},
+        cache_key="profiler",
+    )
+    q_red, jct_red = reductions_vs(baseline, profiled)
+    rows.append(["profiler", q_red, jct_red])
+    return rows
+
+
+def bench_table9_estimate_error(benchmark):
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(
+        "table9", "Table 9: gains under runtime-estimate error",
+        ["wrong predictions", "queue reduction", "jct reduction"],
+        rows,
+    )
+    # Gains persist even at 60 % wrong predictions...
+    assert rows[3][1] > 1.0
+    assert rows[3][2] > 1.0
+    # ...degrade by less than half versus perfect estimates...
+    assert rows[3][1] > rows[0][1] * 0.5
+    # ...and the online profiler's organic errors also keep the gains.
+    assert rows[4][1] > 1.0 and rows[4][2] > 1.0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Replay the paper's 64-GPU testbed experiment (§7.5) in simulation.
+
+Four 8-GPU V100 training servers + four 8-GPU T4 inference servers, 180
+jobs (10 elastic) submitted over 8 hours with running times between two
+minutes and two hours.  The §7.2 calibration showed the simulator tracks
+the real testbed within ~6 % on these workloads.
+
+Run:  python examples/testbed_replay.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_table10_fig17_testbed import testbed_setup  # noqa: E402
+from repro.scenarios import run_scheme  # noqa: E402
+
+
+def main() -> None:
+    setup = testbed_setup(seed=7)
+    workload = setup.workload
+    elastic = sum(1 for s in workload.specs if s.elastic)
+    durations = [s.duration for s in workload.specs]
+    print(
+        f"testbed workload: {len(workload.specs)} jobs ({elastic} elastic), "
+        f"running times {min(durations) / 60:.0f}-{max(durations) / 60:.0f} "
+        f"minutes, submitted over {workload.config.days * 24:.0f} hours"
+    )
+    print(
+        f"clusters: {setup.training_servers}x8 V100 training + "
+        f"{setup.inference_servers}x8 T4 inference\n"
+    )
+
+    print(f"{'scheme':<12}{'q mean':>9}{'q med':>9}{'q p95':>9}"
+          f"{'jct mean':>10}{'jct med':>10}{'preempt':>9}")
+    results = {}
+    for name, scheme in [
+        ("Baseline", "baseline"),
+        ("Lyra", "lyra"),
+        ("Random", "random_loaning"),
+        ("SCF", "scf_loaning"),
+        ("CL-Lyra", "lyra_loaning"),
+        ("Gandiva", "gandiva"),
+        ("AFS", "afs"),
+        ("ES-Lyra", "lyra_scaling"),
+    ]:
+        metrics = run_scheme(setup, scheme)
+        results[name] = metrics
+        q = metrics.queuing_summary()
+        j = metrics.jct_summary()
+        print(f"{name:<12}{q.mean:>9,.0f}{q.median:>9,.0f}{q.p95:>9,.0f}"
+              f"{j.mean:>10,.0f}{j.median:>10,.0f}"
+              f"{metrics.preemption_ratio:>9.1%}")
+
+    lyra = results["Lyra"]
+    base = results["Baseline"]
+    print(
+        f"\nLyra vs Baseline: "
+        f"{base.queuing_summary().mean / lyra.queuing_summary().mean:.2f}x "
+        f"queuing, "
+        f"{base.jct_summary().mean / lyra.jct_summary().mean:.2f}x JCT "
+        f"(paper testbed: 1.38x / 1.22x)"
+    )
+    print(
+        f"orchestrator activity: {len(lyra.loan_ops)} loans, "
+        f"{len(lyra.reclaim_ops)} reclaims, {lyra.scale_ops} scale ops "
+        f"(paper: 6 loans, 8 reclaims, 73 scale ops)"
+    )
+
+
+if __name__ == "__main__":
+    main()

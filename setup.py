@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline)."""
+
+from setuptools import setup
+
+setup()

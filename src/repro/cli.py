@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run one scheme on a generated trace and print metrics.
+* ``compare``  — run several schemes on the same trace, print a table.
+* ``trace``    — generate a synthetic trace and describe (or export) it.
+* ``paper``    — print the paper's published numbers for a table.
+
+Everything is seeded; two invocations with the same arguments produce
+identical numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro import paper
+from repro.analysis import compare_to_paper, render_report
+from repro.scenarios import (
+    SCENARIOS,
+    SCHEMES,
+    default_setup,
+    run_scheme,
+)
+from repro.simulator.metrics import SimulationMetrics, reduction
+from repro.traces.io import load_workload
+from repro.traces.workload import TraceConfig, generate_workload
+
+
+def _add_setup_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=600,
+                        help="number of jobs to generate")
+    parser.add_argument("--days", type=float, default=2.0,
+                        help="trace span in days")
+    parser.add_argument("--training-servers", type=int, default=24)
+    parser.add_argument("--inference-servers", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--load", type=float, default=1.0,
+                        help="offered load relative to cluster capacity")
+
+
+def _make_setup(args):
+    return default_setup(
+        num_jobs=args.jobs,
+        days=args.days,
+        training_servers=args.training_servers,
+        inference_servers=args.inference_servers,
+        seed=args.seed,
+        target_load=args.load,
+    )
+
+
+def _metrics_dict(metrics: SimulationMetrics) -> dict:
+    q = metrics.queuing_summary()
+    j = metrics.jct_summary()
+    return {
+        "queuing": {"mean": q.mean, "median": q.median, "p95": q.p95},
+        "jct": {"mean": j.mean, "median": j.median, "p95": j.p95},
+        "usage_training": metrics.training_usage.mean(),
+        "usage_overall": metrics.overall_usage.mean(),
+        "preemption_ratio": metrics.preemption_ratio,
+        "scale_ops": metrics.scale_ops,
+        "loan_ops": len(metrics.loan_ops),
+        "reclaim_ops": len(metrics.reclaim_ops),
+        "completed": metrics.completion_ratio(),
+    }
+
+
+def _print_metrics(name: str, metrics: SimulationMetrics) -> None:
+    data = _metrics_dict(metrics)
+    print(f"[{name}]")
+    print(f"  queuing  mean {data['queuing']['mean']:>10,.1f} s   "
+          f"median {data['queuing']['median']:>8,.1f}   "
+          f"p95 {data['queuing']['p95']:>10,.1f}")
+    print(f"  jct      mean {data['jct']['mean']:>10,.1f} s   "
+          f"median {data['jct']['median']:>8,.1f}   "
+          f"p95 {data['jct']['p95']:>10,.1f}")
+    print(f"  usage    training {data['usage_training']:.3f}   "
+          f"overall {data['usage_overall']:.3f}")
+    print(f"  events   preemption ratio {data['preemption_ratio']:.3f}   "
+          f"scale ops {data['scale_ops']}   loans {data['loan_ops']}   "
+          f"reclaims {data['reclaim_ops']}")
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    setup = _make_setup(args)
+    specs = None
+    if getattr(args, "trace", None):
+        specs = load_workload(
+            args.trace, cluster_gpus=args.training_servers * 8
+        ).specs
+    metrics = run_scheme(
+        setup, args.scheme, scenario=args.scenario, seed=args.seed,
+        scaling_model=args.scaling_model, specs=specs,
+    )
+    if args.json:
+        print(json.dumps(_metrics_dict(metrics), indent=2))
+    else:
+        _print_metrics(args.scheme, metrics)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    setup = _make_setup(args)
+    results = {}
+    for scheme in args.schemes:
+        results[scheme] = run_scheme(
+            setup, scheme, scenario=args.scenario, seed=args.seed,
+            scaling_model=args.scaling_model,
+        )
+    if args.json:
+        print(json.dumps(
+            {name: _metrics_dict(m) for name, m in results.items()},
+            indent=2,
+        ))
+        return 0
+    print(f"{'scheme':<16}{'q mean':>10}{'q p95':>10}"
+          f"{'jct mean':>11}{'jct p95':>11}{'usage':>8}{'preempt':>9}")
+    for name, metrics in results.items():
+        q = metrics.queuing_summary()
+        j = metrics.jct_summary()
+        print(f"{name:<16}{q.mean:>10,.0f}{q.p95:>10,.0f}"
+              f"{j.mean:>11,.0f}{j.p95:>11,.0f}"
+              f"{metrics.overall_usage.mean():>8.2f}"
+              f"{metrics.preemption_ratio:>9.3f}")
+    if "baseline" in results and len(results) > 1:
+        base = results["baseline"]
+        for name, metrics in results.items():
+            if name == "baseline":
+                continue
+            print(f"{name} vs baseline: "
+                  f"{reduction(base.queuing_summary().mean, metrics.queuing_summary().mean):.2f}x queuing, "
+                  f"{reduction(base.jct_summary().mean, metrics.jct_summary().mean):.2f}x JCT")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = TraceConfig(
+        num_jobs=args.jobs,
+        days=args.days,
+        cluster_gpus=args.training_servers * 8,
+        seed=args.seed,
+        target_load=args.load,
+    )
+    workload = generate_workload(config)
+    stats = {
+        "jobs": len(workload.specs),
+        "days": config.days,
+        "offered_load": workload.offered_load(),
+        "fungible_fraction": workload.fungible_fraction(),
+        "elastic_share": workload.elastic_share(),
+        "elastic_jobs": sum(1 for s in workload.specs if s.elastic),
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(
+                {
+                    "stats": stats,
+                    "jobs": [
+                        {
+                            "job_id": s.job_id,
+                            "submit_time": s.submit_time,
+                            "duration": s.duration,
+                            "min_workers": s.min_workers,
+                            "max_workers": s.max_workers,
+                            "gpus_per_worker": s.gpus_per_worker,
+                            "elastic": s.elastic,
+                            "fungible": s.fungible,
+                            "heterogeneous": s.heterogeneous,
+                            "checkpointing": s.checkpointing,
+                            "model_family": s.model_family,
+                        }
+                        for s in workload.specs
+                    ],
+                },
+                fh,
+            )
+        print(f"wrote {len(workload.specs)} jobs to {args.out}")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.3f}" if isinstance(value, float)
+              else f"  {key}: {value}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the headline schemes and print the shape-verdict report."""
+    setup = _make_setup(args)
+    results = {
+        scheme: run_scheme(setup, scheme, seed=args.seed)
+        for scheme in ("baseline", "lyra", "lyra_loaning", "lyra_scaling")
+    }
+    checks = compare_to_paper(results)
+    print(render_report(checks))
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def cmd_paper(args) -> int:
+    tables = {
+        "table5": paper.TABLE5,
+        "table7": paper.TABLE7,
+        "table8": paper.TABLE8,
+        "table9": paper.TABLE9,
+        "table10": paper.TABLE10,
+        "headlines": paper.HEADLINES,
+        "fig1": paper.FIG1,
+        "workload": paper.WORKLOAD_STATS,
+    }
+    data = tables.get(args.table)
+    if data is None:
+        print(f"unknown table {args.table!r}; choose from "
+              f"{sorted(tables)}", file=sys.stderr)
+        return 2
+    for key, value in data.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lyra (EuroSys '23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scheme")
+    _add_setup_args(run_p)
+    run_p.add_argument("--scheme", default="lyra", choices=sorted(SCHEMES))
+    run_p.add_argument("--scenario", default="basic", choices=SCENARIOS)
+    run_p.add_argument("--scaling-model", default="linear",
+                       choices=["linear", "sublinear20"])
+    run_p.add_argument("--json", action="store_true")
+    run_p.add_argument("--trace",
+                       help="replay a saved trace (.json/.csv) instead of "
+                            "generating one")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run several schemes")
+    _add_setup_args(cmp_p)
+    cmp_p.add_argument("--schemes", nargs="+",
+                       default=["baseline", "lyra"],
+                       choices=sorted(SCHEMES))
+    cmp_p.add_argument("--scenario", default="basic", choices=SCENARIOS)
+    cmp_p.add_argument("--scaling-model", default="linear",
+                       choices=["linear", "sublinear20"])
+    cmp_p.add_argument("--json", action="store_true")
+    cmp_p.set_defaults(func=cmd_compare)
+
+    trace_p = sub.add_parser("trace", help="generate/describe a trace")
+    _add_setup_args(trace_p)
+    trace_p.add_argument("--out", help="write the trace as JSON")
+    trace_p.set_defaults(func=cmd_trace)
+
+    report_p = sub.add_parser(
+        "report", help="run the headline schemes and check shapes vs paper"
+    )
+    _add_setup_args(report_p)
+    report_p.set_defaults(func=cmd_report)
+
+    paper_p = sub.add_parser("paper", help="show the paper's numbers")
+    paper_p.add_argument("table", help="table5|table7|table8|table9|"
+                                       "table10|headlines|fig1|workload")
+    paper_p.set_defaults(func=cmd_paper)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Cluster and whitelist-based capacity loaning.
+
+Lyra implements loaning with a *whitelist API* (§6): each scheduler owns a
+whitelist of servers under its control, and the resource orchestrator moves
+server ids between whitelists.  :class:`Cluster` is one whitelist plus its
+servers; :class:`ClusterPair` wires a training cluster and an inference
+cluster together and implements the loan/return primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.cluster.gpu import GPUType, T4, V100
+from repro.cluster.server import Server
+
+
+class Cluster:
+    """A set of GPU servers under one scheduler's control (a whitelist)."""
+
+    def __init__(self, name: str, servers: Iterable[Server] = ()):
+        self.name = name
+        self._servers: Dict[str, Server] = {}
+        for server in servers:
+            self.add_server(server)
+
+    # ------------------------------------------------------------------
+    # whitelist maintenance
+    # ------------------------------------------------------------------
+    def add_server(self, server: Server) -> None:
+        if server.server_id in self._servers:
+            raise ValueError(f"duplicate server id {server.server_id!r}")
+        self._servers[server.server_id] = server
+
+    def remove_server(self, server_id: str) -> Server:
+        """Drop a server from the whitelist.
+
+        Lyra's orchestrator only removes a server after the scheduler
+        confirms it hosts no running workers (§6), which we enforce.
+        """
+        server = self._servers.get(server_id)
+        if server is None:
+            raise KeyError(f"server {server_id!r} not in cluster {self.name!r}")
+        if server.allocations:
+            raise RuntimeError(
+                f"server {server_id!r} still hosts jobs "
+                f"{sorted(server.allocations)}; vacate before removal"
+            )
+        del self._servers[server_id]
+        return server
+
+    def __contains__(self, server_id: str) -> bool:
+        return server_id in self._servers
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def get(self, server_id: str) -> Server:
+        return self._servers[server_id]
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> List[Server]:
+        """All servers, in stable (insertion) order."""
+        return list(self._servers.values())
+
+    @property
+    def on_loan_servers(self) -> List[Server]:
+        return [s for s in self._servers.values() if s.on_loan]
+
+    @property
+    def dedicated_servers(self) -> List[Server]:
+        return [s for s in self._servers.values() if not s.on_loan]
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(s.num_gpus for s in self._servers.values())
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(s.free_gpus for s in self._servers.values())
+
+    @property
+    def used_gpus(self) -> int:
+        return sum(s.used_gpus for s in self._servers.values())
+
+    @property
+    def normalized_capacity(self) -> float:
+        """Total capacity in training-GPU equivalents (§5.2)."""
+        return sum(s.normalized_gpus for s in self._servers.values())
+
+    def utilization(self) -> float:
+        """Fraction of GPUs currently allocated."""
+        total = self.total_gpus
+        return self.used_gpus / total if total else 0.0
+
+    def release_job(self, job_id: int) -> int:
+        """Release every GPU held by ``job_id`` anywhere in the cluster."""
+        freed = 0
+        for server in self._servers.values():
+            freed += server.release(job_id)
+        return freed
+
+
+def make_training_cluster(
+    num_servers: int, gpus_per_server: int = 8, gpu_type: GPUType = V100
+) -> Cluster:
+    """Build a homogeneous dedicated training cluster."""
+    servers = [
+        Server(
+            server_id=f"train-{i:04d}",
+            gpu_type=gpu_type,
+            num_gpus=gpus_per_server,
+            home_cluster="training",
+        )
+        for i in range(num_servers)
+    ]
+    return Cluster("training", servers)
+
+
+def make_inference_cluster(
+    num_servers: int, gpus_per_server: int = 8, gpu_type: GPUType = T4
+) -> Cluster:
+    """Build a homogeneous inference cluster."""
+    servers = [
+        Server(
+            server_id=f"infer-{i:04d}",
+            gpu_type=gpu_type,
+            num_gpus=gpus_per_server,
+            home_cluster="inference",
+        )
+        for i in range(num_servers)
+    ]
+    return Cluster("inference", servers)
+
+
+class ClusterPair:
+    """A training cluster plus an inference cluster with capacity loaning.
+
+    The inference scheduler autonomously decides *how many* servers to
+    lend or ask back (§4 assumptions); this class provides the mechanism:
+    :meth:`loan` moves idle inference servers into the training whitelist
+    and :meth:`return_server` moves a vacated on-loan server back.
+    """
+
+    def __init__(self, training: Cluster, inference: Cluster):
+        self.training = training
+        self.inference = inference
+
+    @property
+    def loaned_count(self) -> int:
+        return len(self.training.on_loan_servers)
+
+    def loanable_servers(self) -> List[Server]:
+        """Idle inference servers eligible for loaning."""
+        return [s for s in self.inference.servers if s.idle]
+
+    def loan(self, count: int) -> List[Server]:
+        """Loan up to ``count`` idle inference servers to training.
+
+        Returns the servers actually moved (possibly fewer than asked if
+        the inference cluster lacks idle machines).
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        moved: List[Server] = []
+        for server in self.loanable_servers():
+            if len(moved) >= count:
+                break
+            self.inference.remove_server(server.server_id)
+            server.on_loan = True
+            self.training.add_server(server)
+            moved.append(server)
+        return moved
+
+    def return_server(self, server_id: str) -> Server:
+        """Return one vacated on-loan server to the inference whitelist."""
+        server = self.training.get(server_id)
+        if not server.on_loan:
+            raise ValueError(f"server {server_id!r} is not on loan")
+        self.training.remove_server(server_id)
+        server.on_loan = False
+        server.group = None
+        self.inference.add_server(server)
+        return server

@@ -1,0 +1,109 @@
+"""Multiple-choice knapsack solver (§5.2, phase two).
+
+Lyra casts the distribution of leftover GPUs to elastic jobs' flexible
+demand as a multiple-choice knapsack problem (MCKP): every elastic job is a
+*group*; each possible flexible allocation of that job is an *item* whose
+weight is its GPU count and whose value is the resulting JCT reduction
+(Fig. 6).  At most one item per group may be chosen.  MCKP is NP-hard but
+pseudo-polynomial dynamic programming solves production-sized instances in
+milliseconds (the paper reports 0.02 s for 354 items / 245 GPUs).
+
+This module is deliberately generic — items carry an opaque payload — so it
+is reusable and property-testable against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Item:
+    """One candidate allocation inside a group.
+
+    Attributes:
+        weight: Integral resource cost (GPUs).
+        value: Benefit of picking this item (seconds of JCT reduction).
+        payload: Opaque caller data carried through to the solution.
+    """
+
+    weight: int
+    value: float
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"weight must be >= 0, got {self.weight}")
+
+
+def solve_mckp(
+    groups: Sequence[Sequence[Item]], capacity: int
+) -> Tuple[float, List[Optional[Item]]]:
+    """Solve MCKP by dynamic programming.
+
+    Args:
+        groups: One sequence of candidate items per group; picking zero
+            items from a group is always allowed.
+        capacity: Knapsack capacity (non-negative integer).
+
+    Returns:
+        ``(total_value, choices)`` where ``choices[i]`` is the item chosen
+        from ``groups[i]`` or None.  Runs in ``O(len(items) * capacity)``
+        time and ``O(len(groups) * capacity)`` space.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+
+    num_groups = len(groups)
+    # dp[c] = best value using groups processed so far within capacity c.
+    dp = [0.0] * (capacity + 1)
+    # choice[g][c] = index of item taken from group g at capacity c, or -1.
+    choice: List[List[int]] = []
+
+    for group in groups:
+        new_dp = dp[:]  # taking nothing from this group is always valid
+        taken = [-1] * (capacity + 1)
+        for idx, item in enumerate(group):
+            if item.weight > capacity or item.value <= 0:
+                continue
+            for cap in range(item.weight, capacity + 1):
+                candidate = dp[cap - item.weight] + item.value
+                if candidate > new_dp[cap]:
+                    new_dp[cap] = candidate
+                    taken[cap] = idx
+        dp = new_dp
+        choice.append(taken)
+
+    # Reconstruct the chosen item per group by walking groups backwards.
+    choices: List[Optional[Item]] = [None] * num_groups
+    cap = max(range(capacity + 1), key=lambda c: dp[c])
+    best_value = dp[cap]
+    for g in range(num_groups - 1, -1, -1):
+        idx = choice[g][cap]
+        if idx >= 0:
+            item = groups[g][idx]
+            choices[g] = item
+            cap -= item.weight
+    return best_value, choices
+
+
+def solve_mckp_bruteforce(
+    groups: Sequence[Sequence[Item]], capacity: int
+) -> Tuple[float, List[Optional[Item]]]:
+    """Exhaustive MCKP solver for testing (exponential; keep inputs tiny)."""
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    best_value = 0.0
+    best_choice: List[Optional[Item]] = [None] * len(groups)
+    options = [[None] + list(group) for group in groups]
+    for combo in itertools.product(*options):
+        weight = sum(item.weight for item in combo if item is not None)
+        if weight > capacity:
+            continue
+        value = sum(item.value for item in combo if item is not None)
+        if value > best_value:
+            best_value = value
+            best_choice = list(combo)
+    return best_value, best_choice

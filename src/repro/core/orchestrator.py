@@ -1,0 +1,250 @@
+"""Resource orchestrator: executes capacity loaning and reclaiming (§3–§4).
+
+The inference cluster scheduler autonomously decides *when and how much* to
+lend or ask back — here that signal is derived from the inference
+utilization trace plus the 2 % headroom rule (§7.1).  The orchestrator's
+own responsibility is *which* on-loan servers to return, delegated to one
+of the reclaim planners in :mod:`repro.core.reclaim` (Lyra's preemption-
+cost greedy, or the Random/SCF baselines).
+
+An optional usage predictor lets the orchestrator initiate reclaiming one
+interval early, before the inference traffic actually rises (§6).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Optional
+
+from repro.core.reclaim import (
+    ReclaimPlan,
+    plan_reclaim_lyra,
+    plan_reclaim_random,
+    plan_reclaim_scf,
+)
+from repro.simulator.events import EventKind
+
+RECLAIMERS = ("lyra", "random", "scf")
+
+
+class ResourceOrchestrator:
+    """Moves whole servers between the inference and training whitelists.
+
+    Args:
+        reclaimer: ``"lyra"``, ``"random"`` or ``"scf"``.
+        headroom: Inference capacity never loaned (§7.1: 2 %).
+        seed: RNG seed for the Random reclaimer.
+        predictor: Optional callable mapping a recent utilization history
+            (list of floats, oldest first) to the predicted utilization
+            of the next interval; used to reclaim ahead of traffic rises.
+        scale_in_first: Vacate flexible server groups before preempting
+            (§5.3); disabled when elastic scaling is off.
+    """
+
+    def __init__(
+        self,
+        reclaimer: str = "lyra",
+        headroom: float = 0.02,
+        seed: int = 0,
+        predictor: Optional[Callable[[list], float]] = None,
+        scale_in_first: bool = True,
+        window: int = 10,
+    ):
+        if reclaimer not in RECLAIMERS:
+            raise ValueError(f"unknown reclaimer {reclaimer!r}; use {RECLAIMERS}")
+        self.reclaimer = reclaimer
+        self.headroom = headroom
+        self.rng = random.Random(seed)
+        self.predictor = predictor
+        self.scale_in_first = scale_in_first
+        self.window = window
+        self._history: list = []
+        self._target_history: list = []
+        self._surplus_ticks = 0
+
+    # ------------------------------------------------------------------
+    def target_loanable(self, sim: "Simulation") -> int:
+        """Servers the inference side can have on loan right now."""
+        trace = sim.inference_trace
+        if trace is None:
+            return 0
+        target = trace.loanable_at(sim.now, headroom=self.headroom)
+        self._history.append(trace.utilization_at(sim.now))
+        if self.predictor is not None and len(self._history) >= self.window:
+            predicted_util = float(
+                self.predictor(self._history[-self.window:])
+            )
+            reserved = math.ceil(
+                (min(1.0, max(0.0, predicted_util)) + self.headroom)
+                * trace.num_servers
+            )
+            predicted_target = max(0, trace.num_servers - reserved)
+            target = min(target, predicted_target)
+        return target
+
+    def training_need_servers(self, sim: "Simulation", supply: int = 10**9) -> int:
+        """Loaned servers the training side can actually use right now.
+
+        Counts the loaned servers currently hosting workers, plus the
+        servers needed (at the §5.2 normalization cost) by pending
+        loan-eligible base demand and by unmet flexible demand of
+        loan-eligible elastic jobs.  Loaning beyond this would only park
+        idle hardware in the training whitelist.
+        """
+        busy = sum(1 for s in sim.pair.training.on_loan_servers if not s.idle)
+        inference_servers = sim.pair.inference.servers
+        if inference_servers:
+            reference = inference_servers[0]
+        else:
+            loaned = sim.pair.training.on_loan_servers
+            if not loaned:
+                return busy
+            reference = loaned[0]
+        cost = 1.0 / reference.gpu_type.relative_compute
+        gpus_per_server = reference.num_gpus
+
+        # Pending demand only creates loan-need where it overflows the
+        # free dedicated capacity (the scheduler prefers training
+        # hardware for inelastic work, §5.3).
+        training_free = sum(
+            s.free_gpus for s in sim.pair.training.dedicated_servers
+        )
+        pending_total = sum(j.spec.base_gpus for j in sim.pending)
+        supply_gpus = supply * gpus_per_server
+        pending_eligible = 0
+        for j in sim.pending:
+            if not (j.spec.fungible or j.spec.heterogeneous):
+                continue
+            # A base demand that cannot fit even the full loanable pool
+            # will never start on loaned hardware; it creates no need
+            # (heterogeneous jobs can straddle, so they always count).
+            if (
+                not j.spec.heterogeneous
+                and j.spec.base_gpus * cost > supply_gpus
+            ):
+                continue
+            pending_eligible += j.spec.base_gpus
+        overflow = max(0, pending_total - training_free)
+        extra_gpus = min(overflow, pending_eligible)
+        if sim.config.elastic:
+            for job in list(sim.running.values()) + sim.pending:
+                if not job.elastic:
+                    continue
+                if not (job.spec.fungible or job.spec.heterogeneous):
+                    continue
+                # A running job whose workers sit on dedicated training
+                # hardware is type-locked there (§5.3) — its flexible
+                # demand cannot use loaned T4s, so it creates no need.
+                if job.total_workers > 0 and not (
+                    job.spec.heterogeneous
+                    or job.onloan_throughput_fraction() > 0
+                ):
+                    continue
+                unmet = max(0, job.spec.max_workers - max(
+                    job.total_workers, job.spec.min_workers
+                ))
+                extra_gpus += unmet * job.spec.gpus_per_worker
+        extra_servers = math.ceil(extra_gpus * cost / gpus_per_server)
+        need = busy + extra_servers
+        # Keep a little slack so a scheduling epoch never stalls waiting
+        # one orchestrator interval for hardware.
+        return need + max(1, need // 4) if need else 0
+
+    def tick(self, sim: "Simulation") -> None:
+        """One orchestrator interval: loan out or reclaim back.
+
+        The raw loanable *supply* is smoothed with a median-of-3 filter —
+        the 2 % headroom exists precisely to absorb sub-interval traffic
+        bursts (§7.1), so one-sample spikes should not trigger a reclaim
+        (nor should matching dips trigger loans).  The amount actually
+        borrowed is additionally capped by the training side's current
+        demand, so on-loan servers stay productive (Fig. 9).
+        """
+        self._target_history.append(self.target_loanable(sim))
+        recent = self._target_history[-3:]
+        supply = sorted(recent)[len(recent) // 2]
+        target = min(supply, self.training_need_servers(sim, supply))
+        current = sim.pair.loaned_count
+        if target > current:
+            self._surplus_ticks = 0
+            moved = sim.rm.loan_servers(target - current, now=sim.now)
+            if moved:
+                sim.metrics.loan_ops.append(len(moved))
+                sim.log(EventKind.LOAN, detail=[s.server_id for s in moved])
+                sim.trigger_schedule()
+        elif supply < current:
+            # Inference-driven: the lender wants servers back now.
+            self._surplus_ticks = 0
+            self._reclaim(sim, current - supply, record_metrics=True)
+        elif target < current:
+            # Demand-driven surplus: return idle servers only after the
+            # surplus persists a few intervals (avoids loan/return
+            # thrash around scheduling epochs).
+            self._surplus_ticks += 1
+            if self._surplus_ticks >= 3:
+                self._surplus_ticks = 0
+                self._reclaim(sim, current - target, record_metrics=False)
+        else:
+            self._surplus_ticks = 0
+
+    # ------------------------------------------------------------------
+    def _plan(self, sim: "Simulation", demand: int) -> ReclaimPlan:
+        candidates = sim.pair.training.on_loan_servers
+        if self.reclaimer == "random":
+            return plan_reclaim_random(candidates, sim.jobs, demand, rng=self.rng)
+        if self.reclaimer == "scf":
+            return plan_reclaim_scf(candidates, sim.jobs, demand)
+        return plan_reclaim_lyra(
+            candidates, sim.jobs, demand, scale_in_first=self.scale_in_first
+        )
+
+    def _reclaim(self, sim: "Simulation", demand: int,
+                 record_metrics: bool = True) -> None:
+        plan = self._plan(sim, demand)
+        if not plan.servers:
+            return
+        # 1. Scale elastic jobs in (no preemption).
+        for job_id, per_server in plan.scaled_in.items():
+            job = sim.jobs[job_id]
+            if job_id in sim.running:
+                sim.scale_in_worker_counts(job, per_server)
+        # 2. Preempt the jobs the plan sacrificed.
+        for job_id in plan.preempted_jobs:
+            if job_id in sim.running:
+                sim.preempt(sim.jobs[job_id])
+        # 3. Return the vacated servers; force-clear any stragglers the
+        #    planner's model missed (defensive - should not trigger).
+        returned = 0
+        gpus_per_server = 0
+        for server_id in plan.servers:
+            if server_id not in sim.pair.training:
+                continue
+            server = sim.pair.training.get(server_id)
+            for job_id in list(server.allocations):
+                if job_id in sim.running:
+                    sim.preempt(sim.jobs[job_id])
+                    plan.preempted_jobs.add(job_id)
+                else:  # released placement left behind: clean up
+                    server.release(job_id)
+            gpus_per_server = server.num_gpus
+            sim.rm.return_server(server_id, now=sim.now)
+            returned += 1
+        if returned and record_metrics:
+            sim.metrics.reclaim_ops.append(returned)
+            sim.metrics.flex_satisfied.append(
+                min(1.0, plan.free_servers / demand)
+            )
+            if gpus_per_server:
+                sim.metrics.collateral.append(
+                    plan.collateral_gpus / (demand * gpus_per_server)
+                )
+            sim.log(
+                EventKind.RECLAIM,
+                detail={
+                    "servers": plan.servers,
+                    "preempted": sorted(plan.preempted_jobs),
+                },
+            )
+        if returned:
+            sim.trigger_schedule()

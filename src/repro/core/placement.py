@@ -1,0 +1,282 @@
+"""Worker placement via best-fit-decreasing bin packing (§5.3).
+
+Given per-job worker counts from the allocator, placement decides which
+server hosts each worker.  Goals and rules:
+
+* **Fragmentation**: jobs are packed best-fit in decreasing order of
+  per-worker GPU demand (GPUs are the bottleneck resource).
+* **Domain preference**: inelastic jobs prefer dedicated training servers;
+  elastic jobs prefer on-loan inference servers, so that reclaiming can be
+  satisfied by scaling elastic jobs in rather than preempting.
+* **Server groups**: an elastic job's base and flexible workers land on
+  *separate* groups of on-loan servers (BASE_GROUP / FLEX_GROUP); during
+  reclaiming Lyra vacates the flexible group first without preemption.
+* **Type homogeneity**: a non-heterogeneous job must keep all its workers
+  on one GPU type within a run (fungible jobs may pick either type per
+  run); heterogeneous jobs may straddle types, paying a throughput
+  penalty, with base demand preferring training and flexible demand
+  preferring inference hardware (§6).
+
+The Table 6 ablation — BFD without the elastic-aware preferences — is the
+``special_elastic_grouping=False`` configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.server import BASE_GROUP, FLEX_GROUP, Server
+
+try:  # typing-only; avoids a hard dependency cycle
+    from repro.rm.manager import ResourceManager
+except ImportError:  # pragma: no cover
+    ResourceManager = None  # type: ignore[assignment]
+
+
+@dataclass
+class PlacementRequest:
+    """Workers to place for one job this epoch.
+
+    ``base_workers`` of zero means the job is already running and only
+    scale-out flexible workers need placing.
+    """
+
+    job: Job
+    base_workers: int = 0
+    flex_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_workers < 0 or self.flex_workers < 0:
+            raise ValueError(f"negative worker counts in {self}")
+
+
+@dataclass
+class PlacementResult:
+    """What placement achieved.
+
+    Attributes:
+        placed_base: Jobs whose base demand was fully placed.
+        failed_base: Jobs whose base demand could not be placed; their
+            partial placements were rolled back and they stay queued.
+        flex_shortfall: Flexible workers per job that found no server
+            (tolerated — flexible demand is best-effort).
+    """
+
+    placed_base: List[Job] = field(default_factory=list)
+    failed_base: List[Job] = field(default_factory=list)
+    flex_shortfall: Dict[int, int] = field(default_factory=dict)
+
+
+class PlacementEngine:
+    """Best-fit-decreasing placement over a training cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        special_elastic_grouping: bool = True,
+        opportunistic: bool = False,
+        rm: Optional["ResourceManager"] = None,
+        now: float = 0.0,
+    ):
+        self.cluster = cluster
+        self.special_elastic_grouping = special_elastic_grouping
+        #: row-6 Opportunistic Scheduling (§7.1): fungible jobs are queued
+        #: to the inference cluster only, never to training servers.
+        self.opportunistic = opportunistic
+        #: optional resource manager: when present, workers become
+        #: tracked containers and unhealthy nodes are avoided
+        self.rm = rm
+        self.now = now
+
+    # ------------------------------------------------------------------
+    # candidate ordering
+    # ------------------------------------------------------------------
+    def _gpu_type_lock(self, job: Job) -> Optional[str]:
+        """GPU type this job is pinned to by its existing workers."""
+        if job.spec.heterogeneous:
+            return None
+        for server_id in job.servers:
+            if server_id in self.cluster:
+                return self.cluster.get(server_id).gpu_type.name
+        return None
+
+    def _eligible(self, job: Job, server: Server, flexible: bool) -> bool:
+        if self.opportunistic and job.spec.fungible:
+            return server.on_loan
+        if not server.on_loan:
+            return True
+        # On-loan (inference-type) servers take only fungible or
+        # heterogeneous jobs.
+        return job.spec.fungible or job.spec.heterogeneous
+
+    def _preference(self, job: Job, server: Server, flexible: bool) -> int:
+        """Rank tiers: lower is more preferred."""
+        if not self.special_elastic_grouping:
+            # Ablation: naive BFD — treat every server alike, training
+            # hardware first for determinism.
+            return 0 if not server.on_loan else 1
+        if job.spec.heterogeneous:
+            # Base on training, flexible on inference whenever possible.
+            if flexible:
+                return 0 if server.on_loan else 1
+            return 0 if not server.on_loan else 1
+        if job.elastic:
+            if server.on_loan:
+                wanted = FLEX_GROUP if flexible else BASE_GROUP
+                if server.group == wanted:
+                    return 0
+                if server.group is None:
+                    return 1
+                return 3  # wrong group: last resort among on-loan
+            return 2  # training servers after on-loan options
+        # Inelastic: dedicated training first.
+        return 0 if not server.on_loan else 1
+
+    @staticmethod
+    def worker_cost(job: Job, server: Server) -> int:
+        """Physical GPUs one worker of ``job`` occupies on ``server``.
+
+        Implements the §5.2 capacity normalization: on weaker GPUs the
+        worker count is raised (smaller local batches at constant global
+        batch, §2.1), so a nominal demand of ``g`` training GPUs costs
+        ``ceil(g / relative_compute)`` physical GPUs here while running
+        at undiminished speed.
+        """
+        return math.ceil(
+            job.spec.gpus_per_worker / server.gpu_type.relative_compute
+        )
+
+    def _candidates(self, job: Job, flexible: bool) -> List[Server]:
+        lock = self._gpu_type_lock(job)
+        servers = []
+        for server in self.cluster.servers:
+            if server.free_gpus < self.worker_cost(job, server):
+                continue
+            if self.rm is not None and not self.rm.is_healthy(
+                server.server_id
+            ):
+                continue
+            if not self._eligible(job, server, flexible):
+                continue
+            if lock is not None and server.gpu_type.name != lock:
+                continue
+            servers.append(server)
+        # Best fit: fewest free GPUs first within a preference tier, and
+        # prefer partially-used servers over empty ones to curb
+        # fragmentation.
+        servers.sort(
+            key=lambda s: (
+                self._preference(job, s, flexible),
+                s.idle,
+                s.free_gpus,
+                s.server_id,
+            )
+        )
+        return servers
+
+    # ------------------------------------------------------------------
+    # placement of one worker batch
+    # ------------------------------------------------------------------
+    def _place_workers(self, job: Job, workers: int, flexible: bool) -> int:
+        """Place up to ``workers`` workers; returns how many were placed."""
+        remaining = workers
+        while remaining > 0:
+            placed_this_round = 0
+            for server in self._candidates(job, flexible):
+                cost = self.worker_cost(job, server)
+                fit = min(remaining, server.free_gpus // cost)
+                if fit <= 0:
+                    continue
+                if self.rm is not None:
+                    self.rm.launch(
+                        job, server, fit, cost, flexible=flexible,
+                        now=self.now,
+                    )
+                else:
+                    server.allocate(job.job_id, fit * cost)
+                    job.record_placement(
+                        server.server_id,
+                        fit,
+                        flexible=flexible,
+                        gpu_cost=cost,
+                        on_loan=server.on_loan,
+                    )
+                if (
+                    self.special_elastic_grouping
+                    and server.on_loan
+                    and server.group is None
+                    and job.elastic
+                    and not job.spec.heterogeneous
+                ):
+                    server.group = FLEX_GROUP if flexible else BASE_GROUP
+                remaining -= fit
+                placed_this_round += fit
+                break  # re-rank candidates after each placement
+            if placed_this_round == 0:
+                break
+        return workers - remaining
+
+    def _needs_mixed(self, request: PlacementRequest) -> bool:
+        """Whether this job's workers can only fit by spanning GPU types."""
+        job = request.job
+        if not job.spec.heterogeneous:
+            return False
+        workers = request.base_workers + request.flex_workers
+        for on_loan in (False, True):
+            capacity = 0
+            for server in self.cluster.servers:
+                if server.on_loan != on_loan:
+                    continue
+                capacity += server.free_gpus // self.worker_cost(job, server)
+            if capacity >= workers:
+                return False
+        return True
+
+    def _rollback(self, job: Job) -> None:
+        """Undo all placements for a job that failed its base demand."""
+        if self.rm is not None:
+            self.rm.release_job(job, now=self.now)
+            return
+        for server_id in list(job.servers):
+            self.cluster.get(server_id).release(job.job_id)
+        job.clear_placement()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def place(self, requests: Sequence[PlacementRequest]) -> PlacementResult:
+        """Place all requests, largest per-worker demand first (BFD)."""
+        result = PlacementResult()
+        ordered = sorted(
+            requests,
+            key=lambda r: (-r.job.spec.gpus_per_worker, r.job.job_id),
+        )
+        # Jobs that will actually straddle GPU types (their demand fits
+        # neither domain alone) go last, with the lowest priority on the
+        # remaining servers (§6).  Heterogeneous-*capable* jobs that fit
+        # a single domain are placed like everyone else.
+        ordered.sort(key=lambda r: self._needs_mixed(r))
+        for request in ordered:
+            job = request.job
+            if request.base_workers > 0:
+                placed = self._place_workers(
+                    job, request.base_workers, flexible=False
+                )
+                if placed < request.base_workers:
+                    self._rollback(job)
+                    result.failed_base.append(job)
+                    continue
+                result.placed_base.append(job)
+            if request.flex_workers > 0:
+                placed = self._place_workers(
+                    job, request.flex_workers, flexible=True
+                )
+                if placed < request.flex_workers:
+                    result.flex_shortfall[job.job_id] = (
+                        request.flex_workers - placed
+                    )
+        return result

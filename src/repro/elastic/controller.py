@@ -1,0 +1,125 @@
+"""Per-job elastic controller (§6, "Enable elastic scaling").
+
+The production implementation embeds a controller process in each elastic
+job that coordinates worker join and departure: base-demand workers are
+gang-scheduled (all or nothing), flexible workers may come and go while
+preserving loss convergence.  This module reproduces that state machine so
+the scheduler's scale operations have a concrete, verifiable protocol:
+
+* a job may only *start* once its full base demand has joined (gang
+  semantics);
+* flexible workers join/leave one membership *generation* at a time; every
+  membership change bumps the generation, which real systems use to
+  re-establish collectives (torchelastic rendezvous, Horovod elastic);
+* scaling in below base demand is refused — that would stall the job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Set
+
+
+class ControllerState(enum.Enum):
+    WAITING = "waiting"  # gang-collecting base workers
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class ElasticControllerError(RuntimeError):
+    """A scaling request violated the controller protocol."""
+
+
+@dataclass
+class ElasticController:
+    """Coordinates worker membership for one elastic job.
+
+    Attributes:
+        job_id: The controlled job.
+        min_workers: Gang-scheduled base demand.
+        max_workers: Upper end of the scaling range.
+    """
+
+    job_id: int
+    min_workers: int
+    max_workers: int
+    state: ControllerState = ControllerState.WAITING
+    generation: int = 0
+    _workers: Set[str] = field(default_factory=set)
+    _base: Set[str] = field(default_factory=set)
+    #: membership history, one frozenset per generation (for audits)
+    history: List[frozenset] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"need 1 <= min <= max, got {self.min_workers}..{self.max_workers}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> frozenset:
+        return frozenset(self._workers)
+
+    def _bump(self) -> None:
+        self.generation += 1
+        self.history.append(frozenset(self._workers))
+
+    # ------------------------------------------------------------------
+    def join(self, worker_id: str, flexible: bool = False) -> int:
+        """A worker joins; returns the new membership generation.
+
+        Base workers may only join while gang-collecting; once running,
+        only flexible workers may join (and only within the range).
+        """
+        if self.state is ControllerState.STOPPED:
+            raise ElasticControllerError(f"job {self.job_id} already stopped")
+        if worker_id in self._workers:
+            raise ElasticControllerError(f"duplicate worker {worker_id!r}")
+        if self.worker_count >= self.max_workers:
+            raise ElasticControllerError(
+                f"job {self.job_id} at max workers {self.max_workers}"
+            )
+        if self.state is ControllerState.RUNNING and not flexible:
+            raise ElasticControllerError(
+                "base workers are gang-scheduled; cannot join after start"
+            )
+        self._workers.add(worker_id)
+        if not flexible:
+            self._base.add(worker_id)
+        if (
+            self.state is ControllerState.WAITING
+            and len(self._base) >= self.min_workers
+        ):
+            self.state = ControllerState.RUNNING
+        self._bump()
+        return self.generation
+
+    def leave(self, worker_id: str) -> int:
+        """A flexible worker departs; returns the new generation.
+
+        Departure of a base worker while running is a protocol violation
+        (the scheduler must preempt the whole job instead).
+        """
+        if worker_id not in self._workers:
+            raise ElasticControllerError(f"unknown worker {worker_id!r}")
+        if self.state is ControllerState.RUNNING and worker_id in self._base:
+            raise ElasticControllerError(
+                "cannot remove a base worker from a running job; preempt it"
+            )
+        self._workers.remove(worker_id)
+        self._base.discard(worker_id)
+        self._bump()
+        return self.generation
+
+    def stop(self) -> None:
+        """Tear the job down (completion or preemption)."""
+        self.state = ControllerState.STOPPED
+        self._workers.clear()
+        self._base.clear()
+        self._bump()

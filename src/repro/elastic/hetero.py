@@ -1,0 +1,154 @@
+"""Heterogeneous GPU training support (§2.1, §8).
+
+A small fraction of jobs can run on mixed GPU types at runtime
+("heterogeneous" jobs).  The paper's production system supports this only
+experimentally: "adjusting the batch size can roughly synchronize the
+workers, [but] it may prolong the training convergence in some cases"
+(§8), and the Advanced scenario models the net effect as at most 70 % of
+ideal throughput (§7.1).
+
+This module provides the mechanism behind those statements — the
+semi-dynamic load-balancing rule from the literature the paper cites
+(Chen et al., SoCC '20): split the global batch across workers in
+proportion to device speed so one synchronous step takes (nearly) the
+same wall time on every worker, then quantify what is lost to rounding
+and residual stalls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.gpu import GPUType
+
+
+@dataclass(frozen=True)
+class WorkerShard:
+    """One worker's share of a heterogeneous synchronous step."""
+
+    gpu: GPUType
+    batch: int
+
+    @property
+    def step_time(self) -> float:
+        """Relative time to process the shard (batch / speed)."""
+        return self.batch / self.gpu.relative_compute
+
+
+def split_batch(
+    global_batch: int, gpus: Sequence[GPUType]
+) -> List[WorkerShard]:
+    """Split a global batch across mixed workers proportionally to speed.
+
+    Every worker receives at least one sample; remainders go to the
+    fastest workers (largest-remainder rounding), so the sum always
+    equals ``global_batch``.
+    """
+    if global_batch < len(gpus):
+        raise ValueError(
+            f"global batch {global_batch} smaller than worker count "
+            f"{len(gpus)}"
+        )
+    if not gpus:
+        raise ValueError("need at least one worker")
+    total_speed = sum(g.relative_compute for g in gpus)
+    raw = [global_batch * g.relative_compute / total_speed for g in gpus]
+    floors = [max(1, math.floor(r)) for r in raw]
+    deficit = global_batch - sum(floors)
+    order = sorted(
+        range(len(gpus)),
+        key=lambda i: (raw[i] - floors[i], gpus[i].relative_compute),
+        reverse=True,
+    )
+    shards = list(floors)
+    i = 0
+    while deficit > 0:
+        shards[order[i % len(order)]] += 1
+        deficit -= 1
+        i += 1
+    while deficit < 0:
+        idx = order[-1 - (i % len(order))]
+        if shards[idx] > 1:
+            shards[idx] -= 1
+            deficit += 1
+        i += 1
+    return [WorkerShard(gpu=g, batch=b) for g, b in zip(gpus, shards)]
+
+
+def step_efficiency(shards: Sequence[WorkerShard]) -> float:
+    """Throughput efficiency of one synchronous heterogeneous step.
+
+    A synchronous step ends when the *slowest* shard finishes; efficiency
+    is useful work over (workers x makespan).  Perfectly proportional
+    shards give 1.0; imbalance (rounding, very unequal devices) lowers
+    it.
+    """
+    if not shards:
+        raise ValueError("need at least one shard")
+    makespan = max(s.step_time for s in shards)
+    useful = sum(s.step_time for s in shards)
+    return useful / (len(shards) * makespan)
+
+
+def heterogeneous_throughput(
+    global_batch: int, gpus: Sequence[GPUType], sync_overhead: float = 0.05
+) -> float:
+    """Aggregate samples/step-time of a balanced heterogeneous job,
+    relative to the sum of device speeds.
+
+    ``sync_overhead`` models the extra coordination cost of mixed-pace
+    workers (gradient bucketing, stragglers) that batch balancing cannot
+    remove — the reason the paper caps heterogeneous jobs at 70 % of
+    ideal (§7.1).
+    """
+    if not 0 <= sync_overhead < 1:
+        raise ValueError(f"sync_overhead must be in [0, 1), got {sync_overhead}")
+    shards = split_batch(global_batch, gpus)
+    eff = step_efficiency(shards)
+    total_speed = sum(g.relative_compute for g in gpus)
+    return total_speed * eff * (1.0 - sync_overhead)
+
+
+def mixed_penalty(
+    global_batch: int, gpus: Sequence[GPUType], sync_overhead: float = 0.05
+) -> float:
+    """Fraction of homogeneous-equivalent throughput retained when the
+    job spans GPU types — the factor the Advanced scenario draws from.
+
+    Returns 1.0 for a homogeneous set; for V100+T4 mixes with realistic
+    batch sizes the value lands in the 0.7-0.95 band the paper and its
+    references report.
+    """
+    types = {g.name for g in gpus}
+    if len(types) <= 1:
+        return 1.0
+    total_speed = sum(g.relative_compute for g in gpus)
+    return heterogeneous_throughput(global_batch, gpus, sync_overhead) / (
+        total_speed
+    )
+
+
+def plan_worker_mix(
+    demand_gpus: int, training_free: int, onloan_free: int,
+    onloan_cost: float = 3.0,
+) -> Dict[str, int]:
+    """How a heterogeneous job's nominal GPU demand maps onto a mixed
+    placement: training GPUs first, the remainder on loaned hardware at
+    the normalization cost (§6: base on training, flex on inference).
+
+    Returns ``{"training": gpus, "onloan": physical_gpus}``; raises if
+    the demand cannot be covered.
+    """
+    if demand_gpus < 1:
+        raise ValueError(f"demand_gpus must be >= 1, got {demand_gpus}")
+    from_training = min(demand_gpus, training_free)
+    remainder = demand_gpus - from_training
+    onloan_needed = math.ceil(remainder * onloan_cost)
+    if onloan_needed > onloan_free:
+        raise ValueError(
+            f"demand {demand_gpus} does not fit: {training_free} training "
+            f"+ {onloan_free} on-loan GPUs (cost {onloan_cost})"
+        )
+    return {"training": from_training, "onloan": onloan_needed}

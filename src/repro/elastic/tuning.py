@@ -1,0 +1,126 @@
+"""Hyperparameter tuning for elastic jobs (Lyra+TunedJobs, §7.4).
+
+Lyra+TunedJobs adapts Pollux's job agent: whenever a job's allocation
+changes, the agent re-tunes the global batch size and the learning rate
+within the scaling range.  Two standard rules are implemented:
+
+* **Batch scaling** — the global batch grows with the worker count while
+  the local (per-GPU) batch stays fixed, or the local batch shrinks when
+  the job lands on lower-memory GPUs (capacity loaning, §2.1) so the
+  global batch is preserved.
+* **AdaScale learning-rate scaling** (Johnson et al., 2019) — the paper's
+  choice for adjusting the learning rate: the effective LR multiplier is
+  the *gain* ``r = (σ² + μ²) / (σ²/k + μ²)`` which interpolates between
+  linear scaling (noise-dominated gradients) and no scaling
+  (bias-dominated gradients) as the batch grows by factor ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrainingHyperparams:
+    """Hyperparameters the job agent controls."""
+
+    local_batch_size: int
+    global_batch_size: int
+    learning_rate: float
+
+    def __post_init__(self) -> None:
+        if self.local_batch_size < 1 or self.global_batch_size < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+
+
+def scale_batch_for_workers(
+    params: TrainingHyperparams, old_workers: int, new_workers: int
+) -> TrainingHyperparams:
+    """Grow/shrink the global batch with the worker count (fixed local)."""
+    if old_workers < 1 or new_workers < 1:
+        raise ValueError("worker counts must be >= 1")
+    return TrainingHyperparams(
+        local_batch_size=params.local_batch_size,
+        global_batch_size=params.local_batch_size * new_workers,
+        learning_rate=params.learning_rate,
+    )
+
+
+def shrink_batch_for_memory(
+    params: TrainingHyperparams, memory_ratio: float
+) -> TrainingHyperparams:
+    """Fit the local batch into smaller GPU memory, preserving the global
+    batch by implying proportionally more workers (§2.1).
+
+    Args:
+        memory_ratio: target GPU memory / source GPU memory, in (0, 1].
+    """
+    if not 0 < memory_ratio <= 1:
+        raise ValueError(f"memory_ratio must be in (0, 1], got {memory_ratio}")
+    local = max(1, math.floor(params.local_batch_size * memory_ratio))
+    return TrainingHyperparams(
+        local_batch_size=local,
+        global_batch_size=params.global_batch_size,
+        learning_rate=params.learning_rate,
+    )
+
+
+def workers_for_global_batch(params: TrainingHyperparams) -> int:
+    """Workers needed so local batches cover the global batch."""
+    return math.ceil(params.global_batch_size / params.local_batch_size)
+
+
+def adascale_gain(
+    batch_scale: float, grad_var: float = 1.0, grad_sqnorm: float = 1.0
+) -> float:
+    """AdaScale gain ``r`` for a batch grown by ``batch_scale``.
+
+    ``r = (σ² + μ²) / (σ²/k + μ²)`` with ``σ²`` the gradient variance and
+    ``μ²`` the squared gradient norm.  ``1 <= r <= k`` always holds.
+    """
+    if batch_scale < 1:
+        raise ValueError(f"batch_scale must be >= 1, got {batch_scale}")
+    if grad_var < 0 or grad_sqnorm < 0 or (grad_var + grad_sqnorm) == 0:
+        raise ValueError("need non-negative, not-both-zero gradient stats")
+    return (grad_var + grad_sqnorm) / (grad_var / batch_scale + grad_sqnorm)
+
+
+def adascale_lr(
+    base_lr: float,
+    batch_scale: float,
+    grad_var: float = 1.0,
+    grad_sqnorm: float = 1.0,
+) -> float:
+    """Learning rate after an AdaScale adjustment."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be positive, got {base_lr}")
+    return base_lr * adascale_gain(batch_scale, grad_var, grad_sqnorm)
+
+
+def retune(
+    params: TrainingHyperparams,
+    old_workers: int,
+    new_workers: int,
+    grad_var: float = 1.0,
+    grad_sqnorm: float = 1.0,
+) -> TrainingHyperparams:
+    """Full job-agent retune on an allocation change (§7.1 Lyra+TunedJobs).
+
+    Scales the global batch with the worker count and applies the
+    AdaScale gain to the learning rate.
+    """
+    scaled = scale_batch_for_workers(params, old_workers, new_workers)
+    k = scaled.global_batch_size / params.global_batch_size
+    if k >= 1:
+        lr = adascale_lr(params.learning_rate, k, grad_var, grad_sqnorm)
+    else:
+        # Shrinking the batch: invert the gain of the reverse scaling.
+        lr = params.learning_rate / adascale_gain(1 / k, grad_var, grad_sqnorm)
+    return TrainingHyperparams(
+        local_batch_size=scaled.local_batch_size,
+        global_batch_size=scaled.global_batch_size,
+        learning_rate=lr,
+    )

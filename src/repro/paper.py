@@ -1,0 +1,126 @@
+"""The paper's published numbers, as structured data.
+
+Every figure/table value used for shape comparison in the benchmarks and
+in ``EXPERIMENTS.md`` lives here, transcribed from the EuroSys '23 paper,
+so code never hard-codes magic constants from the PDF and the comparison
+report can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table 5 (or the analogous testbed Table 10)."""
+
+    queuing_mean: float
+    queuing_median: float
+    queuing_p95: float
+    jct_mean: float
+    jct_median: float
+    jct_p95: float
+    usage_training: Optional[float] = None
+    usage_overall: Optional[float] = None
+    preemption_ratio: Optional[float] = None
+
+
+#: Table 5 — simulation results (seconds / fractions).
+TABLE5: Dict[str, PaperRow] = {
+    "baseline": PaperRow(3072, 55, 8357, 16610, 791, 82933, 0.72, 0.52, 0.0),
+    "basic": PaperRow(2010, 26, 3358, 11236, 568, 56477, 0.86, 0.65, 0.1224),
+    "advanced": PaperRow(1835, 24, 3238, 10434, 525, 56553, 0.86, 0.68, 0.0735),
+    "heterogeneous": PaperRow(1944, 27, 3574, 12113, 604, 57392, 0.78, 0.64,
+                              0.1123),
+    "ideal": PaperRow(1157, 22, 3204, 8891, 422, 41146, 0.93, 0.72, 0.0572),
+    "opportunistic": PaperRow(2788, 22, 5256, 14828, 744, 67843, 0.74, 0.63,
+                              0.1935),
+    "random_loaning": PaperRow(2901, 23, 5478, 14678, 731, 62923, 0.76, 0.64,
+                               0.2089),
+    "scf_loaning": PaperRow(2783, 24, 4994, 14923, 695, 62456, 0.76, 0.64,
+                            0.1748),
+    "lyra_loaning": PaperRow(2212, 23, 3427, 12947, 662, 57987, 0.76, 0.65,
+                             0.1494),
+    "gandiva": PaperRow(3035, 49, 6632, 15912, 755, 80567, 0.79, None, None),
+    "afs": PaperRow(2284, 47, 3488, 15045, 686, 60883, 0.95, None, None),
+    "pollux": PaperRow(2791, 58, 5883, 14534, 721, 72123, 0.93, None, None),
+    "lyra_scaling": PaperRow(2275, 47, 3475, 12048, 602, 57597, 0.92, None,
+                             None),
+    "lyra_tuned": PaperRow(2054, 43, 2749, 10229, 564, 52458, 0.91, None,
+                           None),
+}
+
+#: Table 8 — queuing/JCT percentiles (Basic, scaling-only): {scheme:
+#: (q50, q75, q95, q99, jct50, jct75, jct95, jct99)}.
+TABLE8: Dict[str, tuple] = {
+    "baseline": (55, 1892, 8357, 14323, 791, 29163, 82933, 376513),
+    "gandiva": (49, 1764, 6632, 11806, 755, 27244, 80567, 323626),
+    "afs": (58, 1297, 5883, 11124, 721, 12304, 72123, 323513),
+    "pollux": (47, 772, 3488, 9031, 686, 20143, 60883, 247435),
+    "lyra_scaling": (47, 697, 3475, 8731, 602, 12072, 57597, 223815),
+    "lyra_tuned": (43, 566, 2749, 7112, 564, 9293, 52458, 194391),
+}
+
+#: Table 7 — jobs running on on-loan servers.
+TABLE7 = {
+    "baseline": PaperRow(4573, 1283, 23351, 11547, 2122, 60170),
+    "lyra": PaperRow(1119, 274, 7256, 6887, 1373, 35776),
+}
+
+#: Table 9 — gains under runtime-estimate error: {wrong fraction:
+#: (queuing reduction, JCT reduction)}.
+TABLE9 = {0.2: (2.21, 1.52), 0.4: (2.17, 1.49), 0.6: (1.76, 1.38)}
+
+#: Table 10 — testbed results: {scheme: (q mean, q median, q p95,
+#: jct mean, jct median, jct p95, preemption ratio)}.
+TABLE10 = {
+    "baseline": (1532, 772, 1003, 4078, 2183, 3096, 0.0),
+    "lyra": (1109, 503, 738, 3335, 1747, 2731, 0.18),
+    "random_loaning": (1527, 658, 993, 3893, 2046, 3015, 0.34),
+    "scf_loaning": (1473, 614, 864, 3857, 1994, 3001, 0.30),
+    "lyra_loaning": (1230, 594, 823, 3748, 1946, 2864, 0.22),
+    "gandiva": (1443, 645, 1002, 3882, 2015, 2893, None),
+    "afs": (1338, 534, 882, 3521, 1836, 2803, None),
+    "pollux": (1405, 576, 937, 3552, 1934, 3004, None),
+    "lyra_scaling": (1318, 546, 798, 3413, 1791, 2794, None),
+}
+
+#: Headline claims (§7 highlights) for quick reference.
+HEADLINES = {
+    "queuing_reduction_basic": 1.53,
+    "jct_reduction_basic": 1.48,
+    "usage_improvement_basic": 0.25,  # +25 % overall usage
+    "queuing_reduction_loaning": 1.39,
+    "jct_reduction_loaning": 1.31,
+    "queuing_reduction_scaling": 1.35,
+    "jct_reduction_scaling": 1.38,
+    "preemption_ratio_basic": 0.1224,
+    "flex_satisfied_basic": 0.535,
+    "flex_satisfied_ideal": 0.835,
+    "onloan_usage": 0.92,
+    "predictor_loss": 4.8e-4,
+    "mckp_solve_seconds": 0.02,
+    "preemption_overhead_seconds": 63.0,
+    "testbed_queuing_reduction": 1.38,
+    "testbed_jct_reduction": 1.22,
+}
+
+#: Fig. 1 statistics of the inference utilization trace.
+FIG1 = {"mean": 0.65, "trough": 0.42, "peak": 0.95, "peak_to_trough": 2.2}
+
+#: §2.1/§2.2 workload statistics the synthetic traces are calibrated to.
+WORKLOAD_STATS = {
+    "jobs": 50390,
+    "days": 15,
+    "training_gpus": 3544,
+    "training_servers": 443,
+    "inference_gpus": 4160,
+    "fungible_fraction": 0.21,
+    "elastic_job_fraction": 0.05,
+    "elastic_resource_share": 0.36,
+    "elastic_mean_hours": 14.2,
+    "baseline_mean_queuing": 3072,
+    "training_utilization": 0.82,
+}

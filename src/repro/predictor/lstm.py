@@ -1,0 +1,256 @@
+"""A from-scratch NumPy LSTM with Adam — the §6 usage predictor's engine.
+
+The paper's inference-resource predictor is "an LSTM model with a window
+size of 10 and two hidden layers", trained with Adam on an MSE loss.  No
+deep-learning framework is available offline, so the LSTM (forward and
+full backpropagation-through-time) and Adam are implemented directly on
+NumPy arrays.  The network is deliberately small — stacked LSTM layers
+plus a linear head emitting one scalar — which is all the 1-D utilization
+series needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+class LSTMLayer:
+    """One LSTM layer, batched over sequences.
+
+    Weight layout: gates stacked as [input, forget, cell, output] along
+    the first axis of ``W`` (input projection), ``U`` (recurrent
+    projection) and ``b``.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(max(1, input_dim + hidden_dim))
+        self.hidden_dim = hidden_dim
+        self.params: Dict[str, np.ndarray] = {
+            "W": rng.normal(0.0, scale, (4 * hidden_dim, input_dim)),
+            "U": rng.normal(0.0, scale, (4 * hidden_dim, hidden_dim)),
+            "b": np.zeros(4 * hidden_dim),
+        }
+        # Standard trick: bias the forget gate open at initialization.
+        self.params["b"][hidden_dim : 2 * hidden_dim] = 1.0
+        self._cache: List[Tuple] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run a batch through time.
+
+        Args:
+            x: Input of shape (batch, time, input_dim).
+
+        Returns:
+            Hidden states of shape (batch, time, hidden_dim).
+        """
+        batch, steps, _ = x.shape
+        H = self.hidden_dim
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+        h = np.zeros((batch, H))
+        c = np.zeros((batch, H))
+        outputs = np.zeros((batch, steps, H))
+        self._cache = []
+        for t in range(steps):
+            xt = x[:, t, :]
+            z = xt @ W.T + h @ U.T + b
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            self._cache.append((xt, h, c, i, f, g, o, c_new, tanh_c))
+            h, c = h_new, c_new
+            outputs[:, t, :] = h
+        return outputs
+
+    def backward(self, dout: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """BPTT given upstream gradients on every hidden state.
+
+        Args:
+            dout: Gradient w.r.t. this layer's outputs,
+                shape (batch, time, hidden_dim).
+
+        Returns:
+            (dx, grads): gradient w.r.t. the inputs and parameter grads.
+        """
+        batch, steps, H = dout.shape
+        W, U = self.params["W"], self.params["U"]
+        grads = {name: np.zeros_like(p) for name, p in self.params.items()}
+        dx = np.zeros((batch, steps, W.shape[1]))
+        dh_next = np.zeros((batch, H))
+        dc_next = np.zeros((batch, H))
+        for t in range(steps - 1, -1, -1):
+            xt, h_prev, c_prev, i, f, g, o, c_new, tanh_c = self._cache[t]
+            dh = dout[:, t, :] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * (1 - tanh_c**2) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dc_next = dc * f
+            dz = np.concatenate(
+                [
+                    di * i * (1 - i),
+                    df * f * (1 - f),
+                    dg * (1 - g**2),
+                    do * o * (1 - o),
+                ],
+                axis=1,
+            )
+            grads["W"] += dz.T @ xt
+            grads["U"] += dz.T @ h_prev
+            grads["b"] += dz.sum(axis=0)
+            dx[:, t, :] = dz @ W
+            dh_next = dz @ U
+        return dx, grads
+
+
+class Dense:
+    """A linear head mapping the final hidden state to a scalar."""
+
+    def __init__(self, input_dim: int, output_dim: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(max(1, input_dim))
+        self.params = {
+            "W": rng.normal(0.0, scale, (output_dim, input_dim)),
+            "b": np.zeros(output_dim),
+        }
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.params["W"].T + self.params["b"]
+
+    def backward(self, dout: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        grads = {
+            "W": dout.T @ self._x,
+            "b": dout.sum(axis=0),
+        }
+        return dout @ self.params["W"], grads
+
+
+class Adam:
+    """The Adam optimizer over a list of parameter dicts."""
+
+    def __init__(
+        self,
+        param_dicts: List[Dict[str, np.ndarray]],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.param_dicts = param_dicts
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self.t = 0
+        self._m = [
+            {k: np.zeros_like(v) for k, v in d.items()} for d in param_dicts
+        ]
+        self._v = [
+            {k: np.zeros_like(v) for k, v in d.items()} for d in param_dicts
+        ]
+
+    def step(self, grad_dicts: List[Dict[str, np.ndarray]]) -> None:
+        self.t += 1
+        bias1 = 1 - self.beta1**self.t
+        bias2 = 1 - self.beta2**self.t
+        for params, grads, m, v in zip(
+            self.param_dicts, grad_dicts, self._m, self._v
+        ):
+            for key in params:
+                g = grads[key]
+                m[key] = self.beta1 * m[key] + (1 - self.beta1) * g
+                v[key] = self.beta2 * v[key] + (1 - self.beta2) * g**2
+                m_hat = m[key] / bias1
+                v_hat = v[key] / bias2
+                params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+@dataclass
+class LSTMRegressor:
+    """Two stacked LSTM layers + linear head (the §6 architecture).
+
+    Trains with Adam on MSE; inputs are (batch, window, 1) sequences,
+    outputs (batch, 1) next-step predictions.
+    """
+
+    hidden_dim: int = 16
+    lr: float = 1e-2
+    seed: int = 0
+    layers: List[LSTMLayer] = field(init=False)
+    head: Dense = field(init=False)
+    optimizer: Adam = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.layers = [
+            LSTMLayer(1, self.hidden_dim, rng),
+            LSTMLayer(self.hidden_dim, self.hidden_dim, rng),
+        ]
+        self.head = Dense(self.hidden_dim, 1, rng)
+        self.optimizer = Adam(
+            [layer.params for layer in self.layers] + [self.head.params],
+            lr=self.lr,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out)
+        return self.head.forward(out[:, -1, :])
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One Adam step on a batch; returns the MSE loss."""
+        pred = self.forward(x)
+        diff = pred - y
+        loss = float(np.mean(diff**2))
+        batch = x.shape[0]
+        dpred = 2.0 * diff / (batch * y.shape[1])
+        dlast, head_grads = self.head.backward(dpred)
+        # Route the head gradient to the last timestep of the top layer.
+        dout = np.zeros((batch, x.shape[1], self.hidden_dim))
+        dout[:, -1, :] = dlast
+        layer_grads: List[Dict[str, np.ndarray]] = []
+        for layer in reversed(self.layers):
+            dout, grads = layer.backward(dout)
+            layer_grads.append(grads)
+        layer_grads.reverse()
+        self.optimizer.step(layer_grads + [head_grads])
+        return loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 64,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Mini-batch training; returns the per-epoch mean loss."""
+        rng = np.random.default_rng(seed)
+        n = x.shape[0]
+        history = []
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                losses.append(self.train_batch(x[idx], y[idx]))
+            history.append(float(np.mean(losses)))
+            if verbose:  # pragma: no cover - console output
+                print(f"epoch {epoch + 1}: mse={history[-1]:.6f}")
+        return history
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,93 @@
+"""Inference resource-usage predictor (§6).
+
+Wraps the NumPy LSTM into the predictor Lyra's orchestrator consumes: it
+trains on an inference utilization trace with a window of 10 samples and
+predicts the resource usage of the next five-minute interval, letting the
+orchestrator "initiate reclaiming decisions in advance before the
+inference resource usage increases".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.predictor.lstm import LSTMRegressor
+from repro.traces.inference import InferenceTrace
+
+
+def make_windows(
+    series: Sequence[float], window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice a 1-D series into (window -> next value) training pairs."""
+    arr = np.asarray(series, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if len(arr) <= window:
+        raise ValueError(
+            f"series of length {len(arr)} too short for window {window}"
+        )
+    n = len(arr) - window
+    x = np.zeros((n, window, 1))
+    y = np.zeros((n, 1))
+    for i in range(n):
+        x[i, :, 0] = arr[i : i + window]
+        y[i, 0] = arr[i + window]
+    return x, y
+
+
+class UsagePredictor:
+    """LSTM predictor of the next-interval inference utilization."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        hidden_dim: int = 16,
+        lr: float = 1e-2,
+        seed: int = 0,
+    ):
+        self.window = window
+        self.model = LSTMRegressor(hidden_dim=hidden_dim, lr=lr, seed=seed)
+        self.trained = False
+        self.final_loss = float("nan")
+
+    def fit_trace(
+        self,
+        trace: InferenceTrace,
+        epochs: int = 20,
+        batch_size: int = 64,
+        max_samples: int = 4000,
+    ) -> List[float]:
+        """Train on a utilization trace; returns the loss history."""
+        series = np.asarray(trace.utilization, dtype=float)
+        if len(series) > max_samples:
+            series = series[:max_samples]
+        x, y = make_windows(series, self.window)
+        history = self.model.fit(x, y, epochs=epochs, batch_size=batch_size)
+        self.trained = True
+        self.final_loss = history[-1]
+        return history
+
+    def predict_next(self, history: Sequence[float]) -> float:
+        """Predict the next utilization sample from the recent window."""
+        if not self.trained:
+            raise RuntimeError("predictor must be fitted before predicting")
+        arr = np.asarray(history, dtype=float)
+        if len(arr) < self.window:
+            raise ValueError(
+                f"need at least {self.window} history samples, got {len(arr)}"
+            )
+        x = arr[-self.window :].reshape(1, self.window, 1)
+        return float(np.clip(self.model.predict(x)[0, 0], 0.0, 1.0))
+
+    def __call__(self, history: Sequence[float]) -> float:
+        """Orchestrator-compatible callable form."""
+        return self.predict_next(history)
+
+    def evaluate(self, trace: InferenceTrace, start: int = 0) -> float:
+        """Mean squared error over a trace segment (the §6 metric)."""
+        series = np.asarray(trace.utilization, dtype=float)[start:]
+        x, y = make_windows(series, self.window)
+        pred = self.model.predict(x)
+        return float(np.mean((pred - y) ** 2))

@@ -1,0 +1,5 @@
+"""The §3 job profiler: online running-time estimation."""
+
+from repro.profiler.profiler import JobProfiler
+
+__all__ = ["JobProfiler"]

@@ -1,0 +1,12 @@
+"""Resource-manager substrate: containers, whitelists, node failures."""
+
+from repro.rm.containers import Container, ContainerState
+from repro.rm.manager import AuditRecord, NodeFailureReport, ResourceManager
+
+__all__ = [
+    "AuditRecord",
+    "Container",
+    "ContainerState",
+    "NodeFailureReport",
+    "ResourceManager",
+]

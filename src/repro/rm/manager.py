@@ -1,0 +1,284 @@
+"""A YARN-style resource manager for the training cluster.
+
+Lyra "runs on top of a cluster resource manager such as YARN and
+Kubernetes to execute its decisions" (§3): launching and tearing down
+worker containers, moving servers across cluster boundaries through the
+whitelist API (§6), and monitoring server/worker status.  This module is
+that execution layer:
+
+* every worker the placement engine schedules becomes a tracked
+  :class:`~repro.rm.containers.Container`;
+* server GPU books are mutated only through container launch/stop, so
+  the container ledger and the server ledger can never drift (asserted
+  by :meth:`ResourceManager.verify_books`);
+* node failures are first-class: :meth:`fail_node` marks a server
+  unhealthy, declares its containers lost, and reports which jobs lost
+  base workers (must be rescheduled) versus only flexible workers (a
+  scale-in suffices) — the hook the simulator's failure injection uses;
+* an audit log records every operation with its timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import ClusterPair
+from repro.cluster.job import Job
+from repro.cluster.server import Server
+from repro.rm.containers import Container
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One resource-manager operation, for the audit trail."""
+
+    time: float
+    op: str
+    detail: Tuple
+
+
+@dataclass
+class NodeFailureReport:
+    """What a node failure cost.
+
+    Attributes:
+        server_id: The failed server.
+        lost_containers: Containers declared lost.
+        jobs_lost_base: Jobs that lost base workers — gang semantics
+            mean the whole job must be rescheduled (§6).
+        jobs_lost_flex: ``{job_id: workers}`` jobs that only lost
+            flexible workers and can continue after a scale-in.
+    """
+
+    server_id: str
+    lost_containers: List[Container] = field(default_factory=list)
+    jobs_lost_base: Set[int] = field(default_factory=set)
+    jobs_lost_flex: Dict[int, int] = field(default_factory=dict)
+
+
+class ResourceManager:
+    """Container lifecycle + whitelist execution over a cluster pair."""
+
+    def __init__(self, pair: ClusterPair):
+        self.pair = pair
+        self._containers: Dict[int, Container] = {}
+        self._by_job: Dict[int, List[int]] = {}
+        self._by_server: Dict[str, List[int]] = {}
+        self._unhealthy: Set[str] = set()
+        self.audit: List[AuditRecord] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def container(self, container_id: int) -> Container:
+        return self._containers[container_id]
+
+    def containers_of(self, job_id: int, running_only: bool = True) -> List[Container]:
+        out = [self._containers[c] for c in self._by_job.get(job_id, [])]
+        if running_only:
+            out = [c for c in out if c.running]
+        return out
+
+    def containers_on(self, server_id: str, running_only: bool = True) -> List[Container]:
+        out = [self._containers[c] for c in self._by_server.get(server_id, [])]
+        if running_only:
+            out = [c for c in out if c.running]
+        return out
+
+    def running_containers(self) -> List[Container]:
+        return [c for c in self._containers.values() if c.running]
+
+    def is_healthy(self, server_id: str) -> bool:
+        return server_id not in self._unhealthy
+
+    # ------------------------------------------------------------------
+    # container lifecycle
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        job: Job,
+        server: Server,
+        workers: int,
+        gpus_per_worker: int,
+        flexible: bool,
+        now: float = 0.0,
+    ) -> List[Container]:
+        """Launch one container per worker on ``server``.
+
+        Reserves the GPUs and records the placement on the job; raises
+        ``ValueError`` (and launches nothing) if capacity is missing or
+        the node is unhealthy.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not self.is_healthy(server.server_id):
+            raise ValueError(f"server {server.server_id!r} is unhealthy")
+        total = workers * gpus_per_worker
+        if total > server.free_gpus:
+            raise ValueError(
+                f"server {server.server_id}: need {total} GPUs, "
+                f"{server.free_gpus} free"
+            )
+        server.allocate(job.job_id, total)
+        job.record_placement(
+            server.server_id,
+            workers,
+            flexible=flexible,
+            gpu_cost=gpus_per_worker,
+            on_loan=server.on_loan,
+        )
+        launched = []
+        for _ in range(workers):
+            container = Container(
+                job_id=job.job_id,
+                server_id=server.server_id,
+                gpus=gpus_per_worker,
+                flexible=flexible,
+                start_time=now,
+            )
+            self._containers[container.container_id] = container
+            self._by_job.setdefault(job.job_id, []).append(
+                container.container_id
+            )
+            self._by_server.setdefault(server.server_id, []).append(
+                container.container_id
+            )
+            launched.append(container)
+        self.audit.append(
+            AuditRecord(now, "launch",
+                        (job.job_id, server.server_id, workers, flexible))
+        )
+        return launched
+
+    def _server(self, server_id: str) -> Optional[Server]:
+        for cluster in (self.pair.training, self.pair.inference):
+            if server_id in cluster:
+                return cluster.get(server_id)
+        return None
+
+    def release_job(self, job: Job, now: float = 0.0) -> int:
+        """Tear down every container of a job (completion/preemption)."""
+        released = 0
+        for container in self.containers_of(job.job_id):
+            container.stop(now)
+            server = self._server(container.server_id)
+            if server is not None:
+                server.release(job.job_id, container.gpus)
+            released += 1
+        job.clear_placement()
+        self.audit.append(AuditRecord(now, "release_job", (job.job_id,)))
+        return released
+
+    def scale_in(
+        self, job: Job, server_id: str, workers: int, now: float = 0.0
+    ) -> int:
+        """Release up to ``workers`` flexible containers on one server."""
+        stopped = 0
+        for container in self.containers_on(server_id):
+            if stopped >= workers:
+                break
+            if container.job_id != job.job_id or not container.flexible:
+                continue
+            container.stop(now)
+            server = self._server(server_id)
+            if server is not None:
+                server.release(job.job_id, container.gpus)
+            stopped += 1
+        if stopped:
+            have = job.flex_placement.get(server_id, 0)
+            take = min(stopped, have)
+            if take:
+                job.flex_placement[server_id] = have - take
+                if job.flex_placement[server_id] == 0:
+                    job.remove_flex_on(server_id)
+            self.audit.append(
+                AuditRecord(now, "scale_in", (job.job_id, server_id, stopped))
+            )
+        return stopped
+
+    # ------------------------------------------------------------------
+    # whitelist API (§6)
+    # ------------------------------------------------------------------
+    def loan_servers(self, count: int, now: float = 0.0) -> List[Server]:
+        moved = self.pair.loan(count)
+        if moved:
+            self.audit.append(
+                AuditRecord(now, "loan", tuple(s.server_id for s in moved))
+            )
+        return moved
+
+    def return_server(self, server_id: str, now: float = 0.0) -> Server:
+        if self.containers_on(server_id):
+            raise RuntimeError(
+                f"server {server_id!r} still runs containers; the scheduler "
+                f"must confirm it is vacated before whitelist removal (§6)"
+            )
+        server = self.pair.return_server(server_id)
+        self.audit.append(AuditRecord(now, "return", (server_id,)))
+        return server
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def fail_node(self, server_id: str, now: float = 0.0) -> NodeFailureReport:
+        """A server dies: containers are lost, GPUs freed, node marked
+        unhealthy until :meth:`recover_node`."""
+        report = NodeFailureReport(server_id=server_id)
+        server = self._server(server_id)
+        for container in self.containers_on(server_id):
+            container.stop(now, lost=True)
+            report.lost_containers.append(container)
+            if container.flexible:
+                report.jobs_lost_flex[container.job_id] = (
+                    report.jobs_lost_flex.get(container.job_id, 0) + 1
+                )
+            else:
+                report.jobs_lost_base.add(container.job_id)
+        if server is not None:
+            for job_id in list(server.allocations):
+                server.release(job_id)
+        # jobs that lost base workers lose everything (gang semantics);
+        # their flex losses are subsumed by the full reschedule
+        for job_id in report.jobs_lost_base:
+            report.jobs_lost_flex.pop(job_id, None)
+        self._unhealthy.add(server_id)
+        self.audit.append(
+            AuditRecord(
+                now, "fail_node",
+                (server_id, len(report.lost_containers)),
+            )
+        )
+        return report
+
+    def recover_node(self, server_id: str, now: float = 0.0) -> None:
+        self._unhealthy.discard(server_id)
+        self.audit.append(AuditRecord(now, "recover_node", (server_id,)))
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def verify_books(self) -> None:
+        """Assert the container ledger matches every server's GPU book.
+
+        Raises ``RuntimeError`` on the first divergence; cheap enough to
+        run inside tests after every mutation batch.
+        """
+        expected: Dict[Tuple[str, int], int] = {}
+        for container in self.running_containers():
+            key = (container.server_id, container.job_id)
+            expected[key] = expected.get(key, 0) + container.gpus
+        for cluster in (self.pair.training, self.pair.inference):
+            for server in cluster.servers:
+                for job_id, gpus in server.allocations.items():
+                    booked = expected.pop((server.server_id, job_id), 0)
+                    if booked != gpus:
+                        raise RuntimeError(
+                            f"book mismatch on {server.server_id} job "
+                            f"{job_id}: containers say {booked}, server "
+                            f"says {gpus}"
+                        )
+        if expected:
+            raise RuntimeError(
+                f"containers without server bookings: {sorted(expected)}"
+            )

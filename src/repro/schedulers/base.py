@@ -1,0 +1,169 @@
+"""Scheduler policy interface and shared machinery.
+
+A policy's :meth:`SchedulerPolicy.schedule` is invoked at every scheduling
+epoch with the live :class:`~repro.simulator.simulation.Simulation`; it
+reads the pending queue and cluster state, places workers through the
+:class:`~repro.core.placement.PlacementEngine`, and reports starts/scales
+back through the simulation's API.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.job import Job
+from repro.core.allocation import Pools
+from repro.core.placement import PlacementEngine, PlacementRequest
+
+
+class SchedulerPolicy(abc.ABC):
+    """Base class for all job-scheduling policies."""
+
+    #: human-readable scheme name (matches the paper's tables)
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, sim: "Simulation") -> None:
+        """Run one scheduling epoch against the simulation state."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def free_pools(sim: "Simulation") -> Pools:
+        """Current idle capacity split into training / on-loan pools.
+
+        The on-loan cost factor (physical GPUs per normalized GPU, §5.2)
+        is derived from the loaned hardware's relative compute.
+        """
+        training = onloan = 0
+        cost = 1.0 / sim.pair.inference_compute if hasattr(
+            sim.pair, "inference_compute"
+        ) else 3.0
+        for server in sim.cluster.servers:
+            if server.on_loan:
+                onloan += server.free_gpus
+                cost = 1.0 / server.gpu_type.relative_compute
+            else:
+                training += server.free_gpus
+        return Pools(training=training, onloan=onloan, onloan_cost=max(1.0, cost))
+
+    @staticmethod
+    def credit_flex(sim: "Simulation", pools: Pools, jobs: Sequence[Job]) -> None:
+        """Add running jobs' flexible-worker GPUs back into the pools.
+
+        §5.2: the resources available at an epoch include GPUs being used
+        by flexible workers, because those can be resized away.
+        """
+        for job in jobs:
+            for server_id, workers in job.flex_placement.items():
+                if server_id not in sim.cluster:
+                    continue
+                gpus = workers * job.gpu_cost_on(server_id)
+                if sim.cluster.get(server_id).on_loan:
+                    pools.onloan += gpus
+                else:
+                    pools.training += gpus
+
+    @staticmethod
+    def make_engine(sim: "Simulation") -> PlacementEngine:
+        return PlacementEngine(
+            sim.cluster,
+            special_elastic_grouping=sim.config.special_elastic_grouping,
+            rm=getattr(sim, "rm", None),
+            now=sim.now,
+        )
+
+    @staticmethod
+    def update_hetero_penalty(sim: "Simulation", job: Job) -> None:
+        """Apply the <=70 % mixed-GPU throughput penalty (§7.1 Advanced).
+
+        A heterogeneous job spanning more than one GPU type pays the
+        penalty; on a homogeneous placement it runs at full speed.  The
+        Ideal scenario models perfect heterogeneous training and keeps
+        the multiplier at 1.0 via ``hetero_ideal``.
+        """
+        if not job.spec.heterogeneous or getattr(sim, "hetero_ideal", False):
+            return
+        types = {
+            sim.cluster.get(sid).gpu_type.name
+            for sid in job.servers
+            if sid in sim.cluster
+        }
+        job.hetero_penalty = 0.7 if len(types) > 1 else 1.0
+
+    def admit_inelastically(
+        self,
+        sim: "Simulation",
+        ordered_pending: Sequence[Job],
+        workers_for=None,
+    ) -> List[Job]:
+        """Admit jobs in a fixed order at a fixed worker count.
+
+        The workhorse of the FIFO/SJF baselines and of opportunistic
+        admission: scan ``ordered_pending``, place each job's workers
+        (``workers_for(job)``, defaulting to the base demand), skip jobs
+        that do not fit and keep scanning (backfill).  Returns the jobs
+        started.
+        """
+        engine = self.make_engine(sim)
+        pools = self.free_pools(sim)
+        started: List[Job] = []
+        failed_shapes = set()
+        opportunistic = getattr(engine, "opportunistic", False)
+        for job in list(ordered_pending):
+            workers = workers_for(job) if workers_for else job.spec.min_workers
+            gpus = workers * job.spec.gpus_per_worker
+            if opportunistic and job.spec.fungible:
+                budget = pools.onloan
+            elif job.spec.fungible or job.spec.heterogeneous:
+                budget = pools.total
+            else:
+                budget = pools.training
+            if gpus > budget:
+                continue
+            shape = (job.spec.gpus_per_worker, workers, job.spec.fungible)
+            if shape in failed_shapes:
+                continue
+            result = engine.place(
+                [PlacementRequest(job, base_workers=workers)]
+            )
+            if result.failed_base:
+                failed_shapes.add(shape)
+                continue
+            pools = self.free_pools(sim)
+            self.update_hetero_penalty(sim, job)
+            sim.activate(job)
+            started.append(job)
+        return started
+
+    # ------------------------------------------------------------------
+    # scale-in helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def choose_flex_removals(
+        sim: "Simulation", job: Job, workers: int
+    ) -> Dict[str, int]:
+        """Pick which flexible workers to drop when scaling ``job`` in.
+
+        Prefers vacating dedicated training servers first (keeping the
+        on-loan FLEX group intact preserves reclaim-without-preemption),
+        then the emptiest on-loan servers.
+        """
+
+        def rank(server_id: str) -> Tuple:
+            if server_id not in sim.cluster:
+                return (0, 0, server_id)
+            server = sim.cluster.get(server_id)
+            return (server.on_loan, -server.free_gpus, server_id)
+
+        removals: Dict[str, int] = {}
+        remaining = workers
+        for server_id in sorted(job.flex_placement, key=rank):
+            if remaining <= 0:
+                break
+            take = min(job.flex_placement[server_id], remaining)
+            removals[server_id] = take
+            remaining -= take
+        return removals

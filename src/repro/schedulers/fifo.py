@@ -1,0 +1,83 @@
+"""Simple queue-order policies: FIFO (the Baseline) and SJF.
+
+The paper's Baseline is "a FIFO cluster scheduler with no capacity loaning
+or elastic scaling" (§7.1).  Jobs are scanned in arrival order and started
+whenever their (fixed) demand fits; blocked jobs are skipped so smaller
+jobs can backfill — without backfill a head-of-line blocker would idle the
+entire cluster, which no production FIFO scheduler does.
+
+``OpportunisticScheduling`` reproduces Table 5 row 6: capacity loaning is
+off, and the 21 % fungible jobs are queued to the *inference* cluster with
+low priority, opportunistically using idle servers there (and getting
+evicted when inference traffic returns).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.job import Job
+from repro.core.placement import PlacementEngine, PlacementRequest
+from repro.schedulers.base import SchedulerPolicy
+
+
+class FIFOScheduler(SchedulerPolicy):
+    """First-in-first-out with backfill; every job runs at base demand."""
+
+    name = "fifo"
+
+    def order(self, pending: List[Job]) -> List[Job]:
+        return sorted(pending, key=lambda j: (j.spec.submit_time, j.job_id))
+
+    def schedule(self, sim: "Simulation") -> None:
+        self.admit_inelastically(sim, self.order(sim.pending))
+
+
+class SJFScheduler(FIFOScheduler):
+    """Shortest-job-first over the scheduler-visible runtime estimates."""
+
+    name = "sjf"
+
+    def order(self, pending: List[Job]) -> List[Job]:
+        return sorted(
+            pending,
+            key=lambda j: (j.estimated_duration(), j.spec.submit_time, j.job_id),
+        )
+
+
+class OpportunisticScheduling(FIFOScheduler):
+    """Table 5 row 6: fungible jobs opportunistically use inference servers.
+
+    Runs FIFO for the regular training workload, but fungible jobs are
+    restricted to on-loan (inference) hardware — they wait for idle
+    inference servers instead of competing for training GPUs, and suffer
+    the weaker GPUs' efficiency once there.
+    """
+
+    name = "opportunistic"
+
+    def schedule(self, sim: "Simulation") -> None:
+        engine = PlacementEngine(
+            sim.cluster,
+            special_elastic_grouping=sim.config.special_elastic_grouping,
+            opportunistic=True,
+            rm=sim.rm,
+            now=sim.now,
+        )
+        pools = self.free_pools(sim)
+        failed_shapes = set()
+        for job in self.order(sim.pending):
+            workers = job.spec.min_workers
+            gpus = workers * job.spec.gpus_per_worker
+            budget = pools.onloan if job.spec.fungible else pools.training
+            if gpus > budget:
+                continue
+            shape = (job.spec.gpus_per_worker, workers, job.spec.fungible)
+            if shape in failed_shapes:
+                continue
+            result = engine.place([PlacementRequest(job, base_workers=workers)])
+            if result.failed_base:
+                failed_shapes.add(shape)
+                continue
+            pools = self.free_pools(sim)
+            sim.activate(job)

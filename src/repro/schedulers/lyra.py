@@ -1,0 +1,103 @@
+"""Lyra's job scheduler: two-phase allocation + BFD placement (§5).
+
+Each epoch:
+
+1. Credit the flexible workers of running elastic jobs back into the free
+   pools — they are resizable resources (§5.2).
+2. Run the two-phase allocator: SJF over inelastic demand, then the
+   multiple-choice knapsack over elastic flexible demand.
+3. Diff the flexible allocation against the current one, scale jobs in
+   (freeing GPUs) before placing new base demands and scale-outs via
+   best-fit-decreasing placement (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.job import Job
+from repro.core.allocation import allocate_two_phase, jct_reduction_value
+from repro.core.placement import PlacementRequest
+from repro.schedulers.base import SchedulerPolicy
+
+
+def _sjf_key(job: Job):
+    return (job.estimated_duration(), job.spec.submit_time, job.job_id)
+
+
+class LyraScheduler(SchedulerPolicy):
+    """The paper's scheduler (elastic-aware two-phase allocation).
+
+    Subclasses may override ``order_key`` (phase-one ordering) and
+    ``value_fn`` (phase-two item values) — the information-agnostic
+    variant (§10 future work) swaps both for runtime-oblivious rules.
+    """
+
+    name = "lyra"
+    #: phase-one ordering (default: shortest estimated runtime first)
+    order_key = staticmethod(_sjf_key)
+    #: phase-two MCKP item value (default: estimated JCT reduction)
+    value_fn = staticmethod(jct_reduction_value)
+
+    def schedule(self, sim: "Simulation") -> None:
+        elastic_on = sim.config.elastic
+        running_elastic = sim.running_elastic if elastic_on else []
+        current_flex: Dict[int, int] = {
+            job.job_id: job.flex_workers for job in running_elastic
+        }
+
+        pools = self.free_pools(sim)
+        self.credit_flex(sim, pools, running_elastic)
+
+        pending = list(sim.pending)
+        if not elastic_on:
+            # Elastic scaling disabled: treat every job as inelastic at
+            # its base demand; phase two never runs.
+            self.admit_inelastically(sim, sorted(pending, key=self.order_key))
+            return
+
+        decision = allocate_two_phase(
+            pending,
+            running_elastic,
+            pools,
+            order_key=self.order_key,
+            value_fn=self.value_fn,
+        )
+
+        # Scale-ins first: free the GPUs that admissions will consume.
+        for job in running_elastic:
+            new_flex = decision.flex.get(job.job_id, current_flex[job.job_id])
+            delta = new_flex - current_flex[job.job_id]
+            if delta < 0:
+                removals = self.choose_flex_removals(sim, job, -delta)
+                sim.scale_in_worker_counts(job, removals)
+
+        # Place admissions (base + their flexible surplus) and scale-outs.
+        engine = self.make_engine(sim)
+        requests: List[PlacementRequest] = []
+        for job, _domain in decision.scheduled:
+            flex = decision.flex.get(job.job_id, 0) if job.elastic else 0
+            requests.append(
+                PlacementRequest(
+                    job, base_workers=job.spec.min_workers, flex_workers=flex
+                )
+            )
+        scale_out_jobs: List[Job] = []
+        for job in running_elastic:
+            delta = decision.flex.get(job.job_id, current_flex[job.job_id]) - (
+                current_flex[job.job_id]
+            )
+            if delta > 0:
+                requests.append(PlacementRequest(job, flex_workers=delta))
+                scale_out_jobs.append(job)
+
+        result = engine.place(requests)
+        for job in result.placed_base:
+            self.update_hetero_penalty(sim, job)
+            sim.activate(job)
+        for job in scale_out_jobs:
+            shortfall = result.flex_shortfall.get(job.job_id, 0)
+            placed = True if shortfall == 0 else job.flex_workers > current_flex[job.job_id]
+            if placed:
+                self.update_hetero_penalty(sim, job)
+                sim.rescale(job, scaled_out=True)

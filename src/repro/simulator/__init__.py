@@ -1,0 +1,33 @@
+"""Discrete-event cluster simulator."""
+
+from repro.simulator.calibration import (
+    Divergence,
+    first_divergence,
+    match_fraction,
+)
+from repro.simulator.engine import Engine
+from repro.simulator.events import Activity, EventKind
+from repro.simulator.metrics import (
+    DistributionSummary,
+    SimulationMetrics,
+    TimeSeries,
+    percentile,
+    reduction,
+)
+from repro.simulator.simulation import Simulation, SimulationConfig
+
+__all__ = [
+    "Activity",
+    "Divergence",
+    "first_divergence",
+    "match_fraction",
+    "DistributionSummary",
+    "Engine",
+    "EventKind",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "TimeSeries",
+    "percentile",
+    "reduction",
+]

@@ -1,0 +1,103 @@
+"""Simulator calibration tooling (§7.2's methodology, rebuilt).
+
+The paper calibrates its simulator against the testbed by replaying tiny
+traces on both, recording "the timestamp and decision of each activity",
+and hunting for the first wrong decision or the first activity whose
+timestamp drifts by more than two seconds.  We reproduce that workflow
+over activity logs so that (a) determinism regressions are caught by the
+test suite and (b) alternative simulator configurations can be diffed the
+same way the authors diffed simulator-vs-testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simulator.events import Activity, EventKind
+
+#: The paper's calibration tolerance: activities are "matching" when the
+#: same decision happens within two seconds.
+DEFAULT_TOLERANCE = 2.0
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two activity logs disagree.
+
+    Attributes:
+        index: Position in the logs (after filtering).
+        reason: ``"decision"`` (different kind/job) or ``"timestamp"``
+            (same decision, drift beyond tolerance) or ``"length"``.
+        left: Activity from the first log, if any.
+        right: Activity from the second log, if any.
+    """
+
+    index: int
+    reason: str
+    left: Optional[Activity] = None
+    right: Optional[Activity] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"divergence@{self.index} ({self.reason}): "
+            f"{self.left} vs {self.right}"
+        )
+
+
+def _comparable(log: Sequence[Activity]) -> List[Activity]:
+    """Keep only decision-bearing activities (drop bookkeeping epochs)."""
+    return [a for a in log if a.kind is not EventKind.SCHEDULE_EPOCH]
+
+
+def first_divergence(
+    left: Sequence[Activity],
+    right: Sequence[Activity],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Optional[Divergence]:
+    """Find the first mismatching activity between two logs.
+
+    Mirrors §7.2: "compare the timestamp and decision of each activity,
+    and find the first wrong decision or the first activity with a
+    larger-than-two-seconds time difference."  Returns None when the
+    logs match end to end.
+    """
+    a_log = _comparable(left)
+    b_log = _comparable(right)
+    for index, (a, b) in enumerate(zip(a_log, b_log)):
+        if a.kind is not b.kind or a.job_id != b.job_id:
+            return Divergence(index, "decision", a, b)
+        if abs(a.time - b.time) > tolerance:
+            return Divergence(index, "timestamp", a, b)
+    if len(a_log) != len(b_log):
+        index = min(len(a_log), len(b_log))
+        return Divergence(
+            index,
+            "length",
+            a_log[index] if index < len(a_log) else None,
+            b_log[index] if index < len(b_log) else None,
+        )
+    return None
+
+
+def match_fraction(
+    left: Sequence[Activity],
+    right: Sequence[Activity],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> float:
+    """Fraction of paired activities that match decision and timing."""
+    a_log = _comparable(left)
+    b_log = _comparable(right)
+    if not a_log and not b_log:
+        return 1.0
+    pairs = list(zip(a_log, b_log))
+    if not pairs:
+        return 0.0
+    good = sum(
+        1
+        for a, b in pairs
+        if a.kind is b.kind
+        and a.job_id == b.job_id
+        and abs(a.time - b.time) <= tolerance
+    )
+    return good / max(len(a_log), len(b_log))

@@ -1,0 +1,63 @@
+"""Discrete-event simulation engine.
+
+A minimal, allocation-free event loop: callbacks are scheduled at absolute
+simulated times and executed in (time, insertion) order.  Everything else —
+jobs, clusters, schedulers — lives above this layer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Engine:
+    """A priority-queue driven simulation clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._stopped = False
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {when} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self.now + delay, callback)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    def stop(self) -> None:
+        """Abort the run loop after the current callback returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the final simulation time.  Events scheduled exactly at
+        ``until`` are still executed.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now

@@ -1,0 +1,178 @@
+"""Simulation metrics: the quantities every table and figure reports.
+
+Queuing time is the delay between submission and the first dispatch (§2.1);
+JCT is submission to completion; GPU usage is tracked both for the training
+whitelist (whose size changes under loaning) and for the combined clusters;
+preemption ratio is total preemptions over total submissions (Table 5
+note 2); collateral damage is the fraction of GPUs vacated in excess of the
+reclaiming demand (§7.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.cluster.job import Job
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Percentile with linear interpolation; NaN on empty input."""
+    if not values:
+        return math.nan
+    return float(np.percentile(np.asarray(values, dtype=float), pct))
+
+
+@dataclass
+class DistributionSummary:
+    """Mean/median/percentiles of a sample, as the tables report them."""
+
+    mean: float
+    median: float
+    p75: float
+    p95: float
+    p99: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        if not values:
+            nan = math.nan
+            return cls(nan, nan, nan, nan, nan, 0)
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            median=float(np.percentile(arr, 50)),
+            p75=float(np.percentile(arr, 75)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            count=len(values),
+        )
+
+
+@dataclass
+class TimeSeries:
+    """A sampled time series (5-minute cadence by default)."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else math.nan
+
+    def hourly_means(self) -> List[float]:
+        """Average per simulated hour (for Figs. 2 and 7)."""
+        if not self.times:
+            return []
+        buckets: Dict[int, List[float]] = {}
+        for t, v in zip(self.times, self.values):
+            buckets.setdefault(int(t // 3600), []).append(v)
+        return [float(np.mean(buckets[h])) for h in sorted(buckets)]
+
+
+@dataclass
+class SimulationMetrics:
+    """Everything a finished simulation exposes for reporting."""
+
+    #: finished jobs (the population all distributions are computed over)
+    jobs: List[Job] = field(default_factory=list)
+    #: jobs submitted during the run (denominator of preemption ratio)
+    submissions: int = 0
+    #: total preemption events
+    preemptions: int = 0
+    #: total elastic scale operations issued
+    scale_ops: int = 0
+    #: injected node failures (0 unless failure injection is enabled)
+    node_failures: int = 0
+    #: loaning operations performed (server count each)
+    loan_ops: List[int] = field(default_factory=list)
+    #: reclaim operations performed (server count each)
+    reclaim_ops: List[int] = field(default_factory=list)
+    #: collateral damage per reclaim op (fraction of reclaim demand)
+    collateral: List[float] = field(default_factory=list)
+    #: fraction of each reclaim demand satisfied by the flex group alone
+    flex_satisfied: List[float] = field(default_factory=list)
+    #: training-whitelist GPU usage samples
+    training_usage: TimeSeries = field(default_factory=TimeSeries)
+    #: combined training+inference GPU usage samples
+    overall_usage: TimeSeries = field(default_factory=TimeSeries)
+    #: GPU usage of on-loan servers (sampled only while any are loaned)
+    onloan_usage: TimeSeries = field(default_factory=TimeSeries)
+    #: fraction of on-loan servers hosting at least one worker (the
+    #: Fig. 1-style occupancy metric, used for Fig. 9)
+    onloan_busy: TimeSeries = field(default_factory=TimeSeries)
+    #: fraction of newly submitted jobs that queued, per hour (Fig. 2)
+    hourly_queuing_ratio: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # distributions
+    # ------------------------------------------------------------------
+    def _finished(self) -> List[Job]:
+        return [j for j in self.jobs if j.jct is not None]
+
+    def queuing_times(self, queued_only: bool = False) -> List[float]:
+        values = [
+            j.queuing_time for j in self.jobs if j.queuing_time is not None
+        ]
+        if queued_only:
+            values = [v for v in values if v > 0]
+        return values
+
+    def jcts(self) -> List[float]:
+        return [j.jct for j in self._finished()]
+
+    def queuing_summary(self) -> DistributionSummary:
+        return DistributionSummary.from_values(self.queuing_times())
+
+    def jct_summary(self) -> DistributionSummary:
+        return DistributionSummary.from_values(self.jcts())
+
+    def onloan_job_ids(self, min_fraction: float = 0.5) -> List[int]:
+        """Jobs that did at least ``min_fraction`` of their work on loan."""
+        out = []
+        for job in self._finished():
+            if job.spec.total_work <= 0:
+                continue
+            if job.onloan_work / job.spec.total_work >= min_fraction:
+                out.append(job.job_id)
+        return out
+
+    def summary_for(self, job_ids: Iterable[int]) -> Dict[str, DistributionSummary]:
+        wanted = set(job_ids)
+        members = [j for j in self._finished() if j.job_id in wanted]
+        return {
+            "queuing": DistributionSummary.from_values(
+                [j.queuing_time for j in members if j.queuing_time is not None]
+            ),
+            "jct": DistributionSummary.from_values([j.jct for j in members]),
+        }
+
+    # ------------------------------------------------------------------
+    # scalars
+    # ------------------------------------------------------------------
+    @property
+    def preemption_ratio(self) -> float:
+        return self.preemptions / self.submissions if self.submissions else 0.0
+
+    def mean_collateral(self) -> float:
+        return float(np.mean(self.collateral)) if self.collateral else 0.0
+
+    def mean_flex_satisfied(self) -> float:
+        return float(np.mean(self.flex_satisfied)) if self.flex_satisfied else 0.0
+
+    def completion_ratio(self) -> float:
+        return len(self._finished()) / len(self.jobs) if self.jobs else 0.0
+
+
+def reduction(baseline: float, ours: float) -> float:
+    """The paper's improvement metric: baseline duration / Lyra duration."""
+    if ours <= 0:
+        return math.inf
+    return baseline / ours

@@ -1,0 +1,121 @@
+"""Trace serialization: save and load workloads as JSON or CSV.
+
+Lets users replay their own traces (or share generated ones) instead of
+the synthetic generator — the reproduction-friendly equivalent of the
+paper's proprietary trace files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.cluster.job import JobSpec
+from repro.traces.workload import DAY, TraceConfig, Workload
+
+_FIELDS = [
+    "job_id", "submit_time", "duration", "max_workers", "min_workers",
+    "gpus_per_worker", "elastic", "fungible", "heterogeneous",
+    "checkpointing", "model_family",
+]
+
+_BOOL_FIELDS = {"elastic", "fungible", "heterogeneous", "checkpointing"}
+_INT_FIELDS = {"job_id", "max_workers", "min_workers", "gpus_per_worker"}
+_FLOAT_FIELDS = {"submit_time", "duration"}
+
+
+def _spec_to_dict(spec: JobSpec) -> dict:
+    return {name: getattr(spec, name) for name in _FIELDS}
+
+
+def _spec_from_dict(record: dict) -> JobSpec:
+    kwargs = {}
+    for name in _FIELDS:
+        if name not in record:
+            raise ValueError(f"trace record missing field {name!r}")
+        value = record[name]
+        if name in _BOOL_FIELDS:
+            if isinstance(value, str):
+                value = value.strip().lower() in ("1", "true", "yes")
+            else:
+                value = bool(value)
+        elif name in _INT_FIELDS:
+            value = int(value)
+        elif name in _FLOAT_FIELDS:
+            value = float(value)
+        kwargs[name] = value
+    return JobSpec(**kwargs)
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload to ``path`` (.json or .csv by extension)."""
+    path = Path(path)
+    records = [_spec_to_dict(s) for s in workload.specs]
+    if path.suffix == ".json":
+        payload = {
+            "config": {
+                "num_jobs": workload.config.num_jobs,
+                "days": workload.config.days,
+                "cluster_gpus": workload.config.cluster_gpus,
+                "seed": workload.config.seed,
+                "target_load": workload.config.target_load,
+            },
+            "jobs": records,
+        }
+        path.write_text(json.dumps(payload))
+    elif path.suffix == ".csv":
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+            writer.writeheader()
+            writer.writerows(records)
+    else:
+        raise ValueError(f"unsupported trace format {path.suffix!r}")
+
+
+def load_workload(
+    path: Union[str, Path], cluster_gpus: int = 0
+) -> Workload:
+    """Read a workload from ``path`` (.json or .csv).
+
+    JSON files produced by :func:`save_workload` carry their trace
+    config; CSV files (and foreign JSON without one) get a config
+    reconstructed from the data, with ``cluster_gpus`` supplied by the
+    caller (or estimated from the peak demand).
+    """
+    path = Path(path)
+    config_dict = None
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text())
+        records = payload["jobs"] if isinstance(payload, dict) else payload
+        if isinstance(payload, dict):
+            config_dict = payload.get("config")
+    elif path.suffix == ".csv":
+        with path.open(newline="") as fh:
+            records = list(csv.DictReader(fh))
+    else:
+        raise ValueError(f"unsupported trace format {path.suffix!r}")
+
+    specs: List[JobSpec] = [_spec_from_dict(r) for r in records]
+    if not specs:
+        raise ValueError(f"trace {path} contains no jobs")
+    specs.sort(key=lambda s: (s.submit_time, s.job_id))
+
+    if config_dict is not None:
+        config = TraceConfig(
+            num_jobs=len(specs),
+            days=float(config_dict.get("days", 1.0)),
+            cluster_gpus=int(config_dict.get("cluster_gpus", 1)),
+            seed=int(config_dict.get("seed", 0)),
+            target_load=float(config_dict.get("target_load", 1.0)),
+        )
+    else:
+        span_days = max(1.0 / 24.0, specs[-1].submit_time / DAY)
+        gpus = cluster_gpus or max(s.max_gpus for s in specs)
+        config = TraceConfig(
+            num_jobs=len(specs),
+            days=float(span_days),
+            cluster_gpus=int(gpus),
+        )
+    return Workload(specs=specs, config=config)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.cluster.job import Job, JobSpec
+from repro.scenarios import ExperimentSetup
+from repro.traces.inference import generate_inference_trace
+from repro.traces.workload import TraceConfig, generate_workload
+
+
+def make_job(
+    job_id: int = 0,
+    submit_time: float = 0.0,
+    duration: float = 100.0,
+    max_workers: int = 2,
+    min_workers: int = 0,
+    gpus_per_worker: int = 1,
+    **kwargs,
+) -> Job:
+    """Terse Job factory used throughout the tests."""
+    return Job(
+        JobSpec(
+            job_id=job_id,
+            submit_time=submit_time,
+            duration=duration,
+            max_workers=max_workers,
+            min_workers=min_workers,
+            gpus_per_worker=gpus_per_worker,
+            **kwargs,
+        )
+    )
+
+
+@pytest.fixture
+def small_pair() -> ClusterPair:
+    """4 training + 4 inference servers of 8 GPUs each."""
+    return ClusterPair(
+        make_training_cluster(4), make_inference_cluster(4)
+    )
+
+
+@pytest.fixture
+def tiny_setup() -> ExperimentSetup:
+    """A fast end-to-end setup: ~120 jobs over one day on 8+10 servers."""
+    config = TraceConfig(
+        num_jobs=120, days=1.0, cluster_gpus=64, seed=7, target_load=0.9
+    )
+    return ExperimentSetup(
+        workload=generate_workload(config),
+        inference_trace=generate_inference_trace(
+            days=2.0, num_servers=10, seed=7
+        ),
+        training_servers=8,
+        inference_servers=10,
+    )

@@ -1,0 +1,197 @@
+"""Tests for two-phase allocation (§5.2), incl. the Table 2/4 examples."""
+
+import pytest
+
+from repro.core.allocation import (
+    MIXED,
+    ONLOAN,
+    TRAINING,
+    Pools,
+    allocate_two_phase,
+    build_flex_groups,
+    preferred_domain,
+    sjf_phase,
+)
+
+from tests.conftest import make_job
+
+
+class TestPools:
+    def test_total_is_normalized(self):
+        pools = Pools(training=10, onloan=9, onloan_cost=3.0)
+        assert pools.onloan_normalized == 3
+        assert pools.total == 13
+
+    def test_onloan_fits_uses_cost(self):
+        pools = Pools(training=0, onloan=9, onloan_cost=3.0)
+        assert pools.onloan_fits(3)
+        assert not pools.onloan_fits(4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Pools(training=-1)
+
+    def test_cost_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            Pools(training=1, onloan=1, onloan_cost=0.5)
+
+    def test_copy_is_independent(self):
+        pools = Pools(training=4, onloan=6)
+        other = pools.copy()
+        other.training = 0
+        assert pools.training == 4
+
+
+class TestPreferredDomain:
+    def test_elastic_fungible_prefers_onloan(self):
+        job = make_job(max_workers=4, min_workers=2, elastic=True,
+                       fungible=True)
+        assert preferred_domain(job) == ONLOAN
+
+    def test_inelastic_prefers_training(self):
+        assert preferred_domain(make_job(fungible=True)) == TRAINING
+
+    def test_elastic_nonfungible_prefers_training(self):
+        job = make_job(max_workers=4, min_workers=2, elastic=True)
+        assert preferred_domain(job) == TRAINING
+
+
+class TestSJFPhase:
+    def test_shortest_first(self):
+        long_job = make_job(job_id=1, duration=100, max_workers=4)
+        short_job = make_job(job_id=2, duration=10, max_workers=4)
+        pools = Pools(training=4)
+        scheduled, skipped = sjf_phase([long_job, short_job], pools)
+        assert [j.job_id for j, _ in scheduled] == [2]
+        assert [j.job_id for j in skipped] == [1]
+        assert pools.training == 0
+
+    def test_backfill_continues_past_blocked_job(self):
+        # A big job that does not fit must not block smaller ones.
+        big = make_job(job_id=1, duration=10, max_workers=8)
+        small = make_job(job_id=2, duration=20, max_workers=2)
+        pools = Pools(training=4)
+        scheduled, skipped = sjf_phase([big, small], pools)
+        assert [j.job_id for j, _ in scheduled] == [2]
+
+    def test_nonfungible_cannot_use_onloan(self):
+        job = make_job(max_workers=4)
+        pools = Pools(training=0, onloan=12)
+        scheduled, skipped = sjf_phase([job], pools)
+        assert scheduled == []
+        assert skipped == [job]
+
+    def test_fungible_falls_back_to_onloan_with_cost(self):
+        job = make_job(max_workers=2, fungible=True)
+        pools = Pools(training=0, onloan=6, onloan_cost=3.0)
+        scheduled, _ = sjf_phase([job], pools)
+        assert [d for _, d in scheduled] == [ONLOAN]
+        assert pools.onloan == 0
+
+    def test_heterogeneous_can_straddle(self):
+        job = make_job(max_workers=4, heterogeneous=True)
+        pools = Pools(training=2, onloan=6, onloan_cost=3.0)
+        scheduled, _ = sjf_phase([job], pools)
+        assert [d for _, d in scheduled] == [MIXED]
+        assert pools.training == 0
+        assert pools.onloan == 0
+
+    def test_estimate_error_changes_order(self):
+        a = make_job(job_id=1, duration=10, max_workers=4)
+        b = make_job(job_id=2, duration=12, max_workers=4)
+        a.estimate_error = 2.0  # a now *looks* longer
+        pools = Pools(training=4)
+        scheduled, _ = sjf_phase([a, b], pools)
+        assert [j.job_id for j, _ in scheduled] == [2]
+
+
+class TestFlexGroups:
+    def test_table4_job_values(self):
+        """Fig. 6's transformation of Table 4: job B (w in [2, 6], min
+        runtime 20 at 6 workers, 1 GPU/worker) yields items valued
+        20/30/36/40 for 1..4 extra workers."""
+        job_b = make_job(duration=20, max_workers=6, min_workers=2,
+                         gpus_per_worker=1, elastic=True)
+        groups = build_flex_groups([job_b], max_weight=10)
+        values = [item.value for item in groups[0]]
+        assert values == pytest.approx([20.0, 30.0, 36.0, 40.0])
+        assert [item.weight for item in groups[0]] == [1, 2, 3, 4]
+
+    def test_table4_job_a_values(self):
+        """Job A (w in [2, 3], min runtime 100, 2 GPUs/worker): one item
+        of weight 2 and value 50."""
+        job_a = make_job(duration=100, max_workers=3, min_workers=2,
+                         gpus_per_worker=2, elastic=True)
+        groups = build_flex_groups([job_a], max_weight=10)
+        assert len(groups[0]) == 1
+        assert groups[0][0].weight == 2
+        assert groups[0][0].value == pytest.approx(50.0)
+
+    def test_items_pruned_at_max_weight(self):
+        job = make_job(duration=20, max_workers=6, min_workers=2,
+                       elastic=True)
+        groups = build_flex_groups([job], max_weight=2)
+        assert len(groups[0]) == 2
+
+    def test_partial_progress_shrinks_values(self):
+        job = make_job(duration=20, max_workers=6, min_workers=2,
+                       elastic=True)
+        job.remaining_work = job.spec.total_work / 2
+        groups = build_flex_groups([job], max_weight=10)
+        assert groups[0][0].value == pytest.approx(10.0)
+
+
+class TestTwoPhase:
+    def test_table4_counter_example(self):
+        """The paper's counter-example to SJF (Table 4): with 8 GPUs,
+        favouring job A (longer min runtime but bigger workload) gives
+        better average JCT.  The MCKP phase must find that allocation:
+        A gets its 1 extra worker, B gets the rest."""
+        job_a = make_job(job_id=1, duration=100, max_workers=3,
+                         min_workers=2, gpus_per_worker=2, elastic=True)
+        job_b = make_job(job_id=2, duration=20, max_workers=6,
+                         min_workers=2, gpus_per_worker=1, elastic=True)
+        pools = Pools(training=8)
+        decision = allocate_two_phase([job_a, job_b], [], pools)
+        assert len(decision.scheduled) == 2
+        # base demands: 4 (A) + 2 (B) = 6, leaving 2 GPUs for phase two.
+        # Best use of 2 GPUs: A's item (weight 2, value 50) beats B's
+        # (weight 2, value 30).
+        assert decision.flex[1] == 1
+        assert decision.flex[2] == 0
+        assert decision.mckp_value == pytest.approx(50.0)
+
+    def test_running_elastic_jobs_join_phase_two(self):
+        running = make_job(job_id=5, duration=20, max_workers=6,
+                           min_workers=2, elastic=True)
+        running.record_placement("s1", 2, flexible=False)
+        pools = Pools(training=4)
+        decision = allocate_two_phase([], [running], pools)
+        assert decision.flex[5] == 4
+        assert decision.leftover.training == 0
+
+    def test_phase_one_starves_phase_two_under_pressure(self):
+        # Inelastic demand soaks the pool; elastic jobs get base only.
+        inelastic = [
+            make_job(job_id=i, duration=10, max_workers=2) for i in range(3)
+        ]
+        elastic = make_job(job_id=10, duration=10, max_workers=4,
+                           min_workers=2, elastic=True)
+        pools = Pools(training=8)
+        decision = allocate_two_phase(inelastic + [elastic], [], pools)
+        assert len(decision.scheduled) == 4
+        assert decision.flex[10] == 0
+
+    def test_skipped_jobs_reported(self):
+        jobs = [make_job(job_id=i, max_workers=4) for i in range(3)]
+        pools = Pools(training=8)
+        decision = allocate_two_phase(jobs, [], pools)
+        assert len(decision.scheduled) == 2
+        assert len(decision.skipped) == 1
+
+    def test_no_elastic_no_mckp(self):
+        decision = allocate_two_phase(
+            [make_job(max_workers=2)], [], Pools(training=8)
+        )
+        assert decision.flex == {}
+        assert decision.mckp_value == 0.0

@@ -1,0 +1,190 @@
+"""Tests for the event engine and the metrics layer."""
+
+import math
+
+import pytest
+
+from repro.simulator.engine import Engine
+from repro.simulator.metrics import (
+    DistributionSummary,
+    SimulationMetrics,
+    TimeSeries,
+    percentile,
+    reduction,
+)
+
+from tests.conftest import make_job
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append("b"))
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.schedule(9.0, lambda: seen.append("c"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+        assert engine.now == 9.0
+
+    def test_ties_run_in_insertion_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(1.0, lambda: seen.append(2))
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_schedule_in_past_raises(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule(5.0, lambda: None)
+
+    def test_schedule_after_negative_raises(self):
+        with pytest.raises(ValueError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(2))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_until_is_inclusive(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(1))
+        engine.run(until=5.0)
+        assert seen == [1]
+
+    def test_callbacks_can_schedule_more(self):
+        engine = Engine()
+        seen = []
+
+        def chain():
+            seen.append(engine.now)
+            if engine.now < 3:
+                engine.schedule_after(1.0, chain)
+
+        engine.schedule(0.0, chain)
+        engine.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_stop_aborts_loop(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, engine.stop)
+        engine.schedule(2.0, lambda: seen.append("nope"))
+        engine.run()
+        assert seen == []
+
+    def test_run_advances_to_until_when_idle(self):
+        engine = Engine()
+        engine.run(until=42.0)
+        assert engine.now == 42.0
+
+
+class TestDistributionSummary:
+    def test_from_values(self):
+        summary = DistributionSummary.from_values(list(range(1, 101)))
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.median == pytest.approx(50.5)
+        assert summary.p95 == pytest.approx(95.05)
+        assert summary.count == 100
+
+    def test_empty_is_nan(self):
+        summary = DistributionSummary.from_values([])
+        assert math.isnan(summary.mean)
+        assert summary.count == 0
+
+    def test_percentile_helper(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+        assert math.isnan(percentile([], 50))
+
+
+class TestTimeSeries:
+    def test_mean(self):
+        series = TimeSeries()
+        series.append(0, 0.5)
+        series.append(300, 1.0)
+        assert series.mean() == pytest.approx(0.75)
+
+    def test_hourly_means_buckets(self):
+        series = TimeSeries()
+        for t, v in [(0, 0.2), (1800, 0.4), (3600, 1.0)]:
+            series.append(t, v)
+        assert series.hourly_means() == [pytest.approx(0.3), 1.0]
+
+    def test_empty(self):
+        assert math.isnan(TimeSeries().mean())
+        assert TimeSeries().hourly_means() == []
+
+
+class TestSimulationMetrics:
+    def finished_job(self, job_id, submit, start, finish, onloan=0.0):
+        job = make_job(job_id=job_id, submit_time=submit, duration=100,
+                       max_workers=2)
+        job.record_placement("s", 2, flexible=False)
+        job.mark_started(start)
+        job.onloan_work = onloan * job.spec.total_work
+        job.mark_finished(finish)
+        return job
+
+    def test_queuing_and_jct_distributions(self):
+        metrics = SimulationMetrics()
+        metrics.jobs = [
+            self.finished_job(1, 0, 10, 110),
+            self.finished_job(2, 0, 0, 50),
+        ]
+        assert metrics.queuing_summary().mean == pytest.approx(5.0)
+        assert metrics.jct_summary().mean == pytest.approx(80.0)
+
+    def test_queued_only_filter(self):
+        metrics = SimulationMetrics()
+        metrics.jobs = [
+            self.finished_job(1, 0, 10, 110),
+            self.finished_job(2, 0, 0, 50),
+        ]
+        assert metrics.queuing_times(queued_only=True) == [10.0]
+
+    def test_preemption_ratio(self):
+        metrics = SimulationMetrics()
+        metrics.submissions = 50
+        metrics.preemptions = 5
+        assert metrics.preemption_ratio == pytest.approx(0.1)
+
+    def test_preemption_ratio_no_submissions(self):
+        assert SimulationMetrics().preemption_ratio == 0.0
+
+    def test_onloan_job_selection(self):
+        metrics = SimulationMetrics()
+        metrics.jobs = [
+            self.finished_job(1, 0, 0, 100, onloan=0.9),
+            self.finished_job(2, 0, 0, 100, onloan=0.1),
+        ]
+        assert metrics.onloan_job_ids() == [1]
+        assert metrics.onloan_job_ids(min_fraction=0.05) == [1, 2]
+
+    def test_summary_for_subset(self):
+        metrics = SimulationMetrics()
+        metrics.jobs = [
+            self.finished_job(1, 0, 10, 110),
+            self.finished_job(2, 0, 0, 50),
+        ]
+        summaries = metrics.summary_for([1])
+        assert summaries["jct"].mean == pytest.approx(110.0)
+        assert summaries["queuing"].count == 1
+
+    def test_reduction_metric(self):
+        assert reduction(3072.0, 2010.0) == pytest.approx(1.528, abs=1e-3)
+        assert reduction(1.0, 0.0) == math.inf
+
+    def test_completion_ratio(self):
+        metrics = SimulationMetrics()
+        unfinished = make_job(job_id=3)
+        metrics.jobs = [self.finished_job(1, 0, 0, 50), unfinished]
+        assert metrics.completion_ratio() == pytest.approx(0.5)

@@ -1,0 +1,61 @@
+"""Unit tests for GPU device models."""
+
+import pytest
+
+from repro.cluster.gpu import A100, GPUType, T4, V100, get_gpu_type
+
+
+class TestGPUType:
+    def test_v100_is_reference(self):
+        assert V100.relative_compute == 1.0
+        assert V100.memory_gb == 32
+
+    def test_t4_is_one_third_of_v100(self):
+        # §7.5: three loaned T4 servers ~ one V100 training server.
+        assert T4.relative_compute == pytest.approx(1.0 / 3.0)
+
+    def test_a100_faster_than_v100(self):
+        assert A100.relative_compute > V100.relative_compute
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError):
+            GPUType(name="bad", memory_gb=0, relative_compute=1.0)
+
+    def test_rejects_nonpositive_compute(self):
+        with pytest.raises(ValueError):
+            GPUType(name="bad", memory_gb=16, relative_compute=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            V100.memory_gb = 64  # type: ignore[misc]
+
+    def test_hashable_for_dict_keys(self):
+        assert len({V100: 1, T4: 2}) == 2
+
+
+class TestBatchShrink:
+    def test_t4_halves_v100_batch(self):
+        # 16 GB T4 fits half of a 32 GB V100's local batch (§2.1).
+        assert T4.batch_shrink_factor(V100) == pytest.approx(0.5)
+
+    def test_never_grows_batch(self):
+        assert V100.batch_shrink_factor(T4) == 1.0
+
+    def test_same_gpu_is_identity(self):
+        assert V100.batch_shrink_factor(V100) == 1.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["V100", "T4", "A100"])
+    def test_lookup(self, name):
+        assert get_gpu_type(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_gpu_type("v100") is V100
+
+    def test_lookup_strips_vendor_prefix(self):
+        assert get_gpu_type("Nvidia T4") is T4
+
+    def test_unknown_raises_keyerror_with_choices(self):
+        with pytest.raises(KeyError, match="V100"):
+            get_gpu_type("H100")

@@ -1,0 +1,201 @@
+"""Tests for heterogeneous-training math, trace I/O, and the analysis
+report."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ShapeCheck, compare_to_paper, render_report
+from repro.cluster.gpu import A100, T4, V100
+from repro.elastic.hetero import (
+    heterogeneous_throughput,
+    mixed_penalty,
+    plan_worker_mix,
+    split_batch,
+    step_efficiency,
+)
+from repro.scenarios import default_setup, run_scheme
+from repro.traces.io import load_workload, save_workload
+from repro.traces.workload import TraceConfig, generate_workload
+
+
+class TestBatchSplitting:
+    def test_homogeneous_split_is_even(self):
+        shards = split_batch(64, [V100] * 4)
+        assert [s.batch for s in shards] == [16] * 4
+
+    def test_split_conserves_global_batch(self):
+        shards = split_batch(100, [V100, V100, T4, T4, T4])
+        assert sum(s.batch for s in shards) == 100
+
+    def test_faster_gpu_gets_bigger_shard(self):
+        shards = split_batch(64, [V100, T4])
+        assert shards[0].batch > shards[1].batch
+        # proportional to the 3:1 speed ratio, up to rounding
+        assert shards[0].batch == pytest.approx(48, abs=2)
+
+    def test_every_worker_gets_at_least_one_sample(self):
+        shards = split_batch(4, [A100, T4, T4, T4])
+        assert all(s.batch >= 1 for s in shards)
+
+    def test_batch_smaller_than_workers_rejected(self):
+        with pytest.raises(ValueError):
+            split_batch(2, [V100, V100, V100])
+
+    def test_empty_workers_rejected(self):
+        with pytest.raises(ValueError):
+            split_batch(8, [])
+
+    @given(
+        batch=st.integers(8, 512),
+        v100s=st.integers(1, 4),
+        t4s=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_properties(self, batch, v100s, t4s):
+        gpus = [V100] * v100s + [T4] * t4s
+        shards = split_batch(batch, gpus)
+        assert sum(s.batch for s in shards) == batch
+        assert all(s.batch >= 1 for s in shards)
+
+
+class TestStepEfficiency:
+    def test_balanced_steps_are_efficient(self):
+        shards = split_batch(96, [V100, V100, T4])
+        assert step_efficiency(shards) > 0.9
+
+    def test_unbalanced_steps_waste_time(self):
+        from repro.elastic.hetero import WorkerShard
+
+        shards = [WorkerShard(V100, 60), WorkerShard(V100, 4)]
+        assert step_efficiency(shards) < 0.6
+
+    def test_mixed_penalty_in_paper_band(self):
+        # V100+T4 mixes land around the <=70-95 % band of §7.1 and its
+        # references once sync overhead is charged.
+        penalty = mixed_penalty(128, [V100] * 2 + [T4] * 2,
+                                sync_overhead=0.1)
+        assert 0.6 <= penalty <= 0.95
+
+    def test_homogeneous_penalty_is_one(self):
+        assert mixed_penalty(64, [V100] * 4) == 1.0
+
+    def test_throughput_positive_and_bounded(self):
+        gpus = [V100, V100, T4]
+        tput = heterogeneous_throughput(90, gpus)
+        assert 0 < tput <= sum(g.relative_compute for g in gpus)
+
+    def test_bad_sync_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_throughput(64, [V100], sync_overhead=1.0)
+
+
+class TestWorkerMixPlanning:
+    def test_training_first(self):
+        mix = plan_worker_mix(10, training_free=8, onloan_free=24)
+        assert mix == {"training": 8, "onloan": 6}
+
+    def test_fits_training_alone(self):
+        assert plan_worker_mix(4, 8, 0) == {"training": 4, "onloan": 0}
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            plan_worker_mix(10, training_free=2, onloan_free=8)
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            plan_worker_mix(0, 8, 8)
+
+
+class TestTraceIO:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_workload(
+            TraceConfig(num_jobs=50, days=0.5, cluster_gpus=64, seed=17)
+        )
+
+    @pytest.mark.parametrize("ext", ["json", "csv"])
+    def test_round_trip(self, workload, tmp_path, ext):
+        path = tmp_path / f"trace.{ext}"
+        save_workload(workload, path)
+        loaded = load_workload(path, cluster_gpus=64)
+        assert len(loaded.specs) == len(workload.specs)
+        for a, b in zip(workload.specs, loaded.specs):
+            assert a.job_id == b.job_id
+            assert a.duration == pytest.approx(b.duration)
+            assert a.elastic == b.elastic
+            assert a.min_workers == b.min_workers
+
+    def test_json_preserves_config(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.config.cluster_gpus == workload.config.cluster_gpus
+        assert loaded.config.days == workload.config.days
+
+    def test_unknown_extension_rejected(self, workload, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_workload(workload, tmp_path / "trace.parquet")
+        with pytest.raises(ValueError, match="format"):
+            load_workload(tmp_path / "trace.parquet")
+
+    def test_loaded_trace_is_runnable(self, workload, tmp_path):
+        path = tmp_path / "trace.json"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        setup = default_setup(num_jobs=10, days=0.5, training_servers=8,
+                              inference_servers=8, seed=17)
+        metrics = run_scheme(setup, "baseline", specs=loaded.specs)
+        assert metrics.completion_ratio() == 1.0
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"job_id": 1}]')
+        with pytest.raises(ValueError, match="missing field"):
+            load_workload(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="no jobs"):
+            load_workload(path)
+
+
+class TestAnalysisReport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        setup = default_setup(num_jobs=200, days=1.0, training_servers=10,
+                              inference_servers=12, seed=23, target_load=1.0)
+        return {
+            "baseline": run_scheme(setup, "baseline"),
+            "lyra": run_scheme(setup, "lyra"),
+            "lyra_scaling": run_scheme(setup, "lyra_scaling"),
+        }
+
+    def test_requires_baseline(self, results):
+        with pytest.raises(ValueError, match="baseline"):
+            compare_to_paper({"lyra": results["lyra"]})
+
+    def test_checks_present_schemes_only(self, results):
+        checks = compare_to_paper(results)
+        names = {c.name for c in checks}
+        assert any("Basic" in n for n in names)
+        assert not any("loaning-only" in n for n in names)
+
+    def test_headline_shapes_hold(self, results):
+        checks = compare_to_paper(results)
+        basic = [c for c in checks if "Lyra queuing reduction" in c.name][0]
+        assert basic.holds
+        jct = [c for c in checks if "Lyra JCT reduction" in c.name][0]
+        assert jct.holds
+
+    def test_render(self, results):
+        report = render_report(compare_to_paper(results))
+        assert "shape verdict" in report
+        assert "paper" in report
+
+    def test_shapecheck_str(self):
+        check = ShapeCheck("x", 1.5, 1.2, True, True)
+        assert "[+]" in str(check)
+        bad = ShapeCheck("x", 1.5, 0.8, False, False)
+        assert "[!]" in str(bad)

@@ -1,0 +1,113 @@
+"""Tests for the multiple-choice knapsack solver (§5.2 phase two)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mckp import Item, solve_mckp, solve_mckp_bruteforce
+
+
+class TestBasics:
+    def test_empty_groups(self):
+        value, choices = solve_mckp([], 10)
+        assert value == 0.0
+        assert choices == []
+
+    def test_zero_capacity_picks_nothing_with_weight(self):
+        groups = [[Item(weight=1, value=5.0)]]
+        value, choices = solve_mckp(groups, 0)
+        assert value == 0.0
+        assert choices == [None]
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            solve_mckp([], -1)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            Item(weight=-1, value=1.0)
+
+    def test_single_item_fits(self):
+        groups = [[Item(weight=2, value=3.0, payload="a")]]
+        value, choices = solve_mckp(groups, 2)
+        assert value == 3.0
+        assert choices[0].payload == "a"
+
+    def test_at_most_one_item_per_group(self):
+        groups = [[Item(weight=1, value=1.0), Item(weight=1, value=2.0)]]
+        value, choices = solve_mckp(groups, 10)
+        assert value == 2.0  # not 3.0
+
+    def test_worthless_items_skipped(self):
+        groups = [[Item(weight=1, value=0.0)], [Item(weight=1, value=-4.0)]]
+        value, choices = solve_mckp(groups, 10)
+        assert value == 0.0
+        assert choices == [None, None]
+
+    def test_fig6_example(self):
+        """The paper's Fig. 6 instance: jobs A and B from Table 4.
+
+        Job A: one item (weight 2 GPUs, value 50); job B: items of
+        weight 1..4 with values 20/30/36/40.  With 4 free GPUs the best
+        pick is A's item plus B's 2-GPU item (value 80).
+        """
+        group_a = [Item(weight=2, value=50.0, payload=("A", 1))]
+        group_b = [
+            Item(weight=1, value=20.0, payload=("B", 1)),
+            Item(weight=2, value=30.0, payload=("B", 2)),
+            Item(weight=3, value=36.0, payload=("B", 3)),
+            Item(weight=4, value=40.0, payload=("B", 4)),
+        ]
+        value, choices = solve_mckp([group_a, group_b], 4)
+        assert value == 80.0
+        assert choices[0].payload == ("A", 1)
+        assert choices[1].payload == ("B", 2)
+
+    def test_reconstruction_weight_within_capacity(self):
+        groups = [
+            [Item(weight=3, value=5.0), Item(weight=5, value=9.0)],
+            [Item(weight=4, value=7.0)],
+            [Item(weight=2, value=2.0)],
+        ]
+        value, choices = solve_mckp(groups, 7)
+        taken = [c for c in choices if c is not None]
+        assert sum(item.weight for item in taken) <= 7
+        assert sum(item.value for item in taken) == pytest.approx(value)
+
+
+item_strategy = st.builds(
+    Item,
+    weight=st.integers(min_value=0, max_value=6),
+    value=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+groups_strategy = st.lists(
+    st.lists(item_strategy, max_size=4), max_size=4
+)
+
+
+class TestAgainstBruteForce:
+    @given(groups=groups_strategy, capacity=st.integers(0, 12))
+    @settings(max_examples=200, deadline=None)
+    def test_dp_matches_bruteforce_value(self, groups, capacity):
+        dp_value, dp_choices = solve_mckp(groups, capacity)
+        bf_value, _ = solve_mckp_bruteforce(groups, capacity)
+        assert dp_value == pytest.approx(bf_value)
+        # The DP's own reconstruction must be feasible and consistent.
+        taken = [c for c in dp_choices if c is not None]
+        assert sum(i.weight for i in taken) <= capacity
+        assert sum(i.value for i in taken) == pytest.approx(dp_value)
+
+    @given(groups=groups_strategy, capacity=st.integers(0, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_choices_come_from_their_groups(self, groups, capacity):
+        _, choices = solve_mckp(groups, capacity)
+        assert len(choices) == len(groups)
+        for group, choice in zip(groups, choices):
+            assert choice is None or choice in group
+
+    @given(groups=groups_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_value_monotone_in_capacity(self, groups):
+        v_small, _ = solve_mckp(groups, 3)
+        v_large, _ = solve_mckp(groups, 9)
+        assert v_large >= v_small

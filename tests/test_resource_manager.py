@@ -1,0 +1,236 @@
+"""Tests for the resource-manager substrate and failure injection."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.cluster.job import JobSpec, JobStatus
+from repro.rm.containers import Container, ContainerState
+from repro.rm.manager import ResourceManager
+from repro.schedulers.lyra import LyraScheduler
+from repro.simulator.simulation import Simulation, SimulationConfig
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def rm():
+    pair = ClusterPair(make_training_cluster(2), make_inference_cluster(2))
+    return ResourceManager(pair)
+
+
+def first_server(rm):
+    return rm.pair.training.servers[0]
+
+
+class TestContainer:
+    def test_lifecycle(self):
+        c = Container(job_id=1, server_id="s", gpus=2)
+        assert c.running
+        c.stop(10.0)
+        assert c.state is ContainerState.RELEASED
+        assert c.end_time == 10.0
+
+    def test_stop_idempotent(self):
+        c = Container(job_id=1, server_id="s", gpus=2)
+        c.stop(10.0)
+        c.stop(20.0, lost=True)
+        assert c.state is ContainerState.RELEASED
+        assert c.end_time == 10.0
+
+    def test_lost_state(self):
+        c = Container(job_id=1, server_id="s", gpus=2)
+        c.stop(5.0, lost=True)
+        assert c.state is ContainerState.LOST
+
+    def test_unique_ids(self):
+        a = Container(job_id=1, server_id="s", gpus=1)
+        b = Container(job_id=1, server_id="s", gpus=1)
+        assert a.container_id != b.container_id
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            Container(job_id=1, server_id="s", gpus=0)
+
+
+class TestLaunchRelease:
+    def test_launch_books_both_sides(self, rm):
+        job = make_job(max_workers=3)
+        server = first_server(rm)
+        containers = rm.launch(job, server, 3, 1, flexible=False, now=5.0)
+        assert len(containers) == 3
+        assert server.allocations[job.job_id] == 3
+        assert job.base_workers == 3
+        rm.verify_books()
+
+    def test_launch_over_capacity_rejected(self, rm):
+        job = make_job(max_workers=5, gpus_per_worker=2)
+        with pytest.raises(ValueError, match="free"):
+            rm.launch(job, first_server(rm), 5, 2, flexible=False)
+        rm.verify_books()
+
+    def test_launch_on_unhealthy_rejected(self, rm):
+        job = make_job()
+        server = first_server(rm)
+        rm.fail_node(server.server_id)
+        with pytest.raises(ValueError, match="unhealthy"):
+            rm.launch(job, server, 1, 1, flexible=False)
+
+    def test_release_job_frees_everything(self, rm):
+        job = make_job(max_workers=4)
+        rm.launch(job, rm.pair.training.servers[0], 2, 1, flexible=False)
+        rm.launch(job, rm.pair.training.servers[1], 2, 1, flexible=False)
+        released = rm.release_job(job, now=9.0)
+        assert released == 4
+        assert rm.pair.training.used_gpus == 0
+        assert job.total_workers == 0
+        assert not rm.containers_of(job.job_id)
+        rm.verify_books()
+
+    def test_scale_in_releases_flex_only(self, rm):
+        job = make_job(max_workers=6, min_workers=2, elastic=True)
+        server = first_server(rm)
+        rm.launch(job, server, 2, 1, flexible=False)
+        rm.launch(job, server, 3, 1, flexible=True)
+        stopped = rm.scale_in(job, server.server_id, 2, now=3.0)
+        assert stopped == 2
+        assert job.flex_workers == 1
+        assert job.base_workers == 2
+        assert server.allocations[job.job_id] == 3
+        rm.verify_books()
+
+    def test_scale_in_never_touches_base(self, rm):
+        job = make_job(max_workers=4, min_workers=2, elastic=True)
+        server = first_server(rm)
+        rm.launch(job, server, 2, 1, flexible=False)
+        assert rm.scale_in(job, server.server_id, 5) == 0
+        assert job.base_workers == 2
+
+    def test_audit_trail(self, rm):
+        job = make_job(max_workers=2)
+        rm.launch(job, first_server(rm), 2, 1, flexible=False, now=1.0)
+        rm.release_job(job, now=2.0)
+        ops = [record.op for record in rm.audit]
+        assert ops == ["launch", "release_job"]
+
+
+class TestWhitelist:
+    def test_loan_and_return(self, rm):
+        moved = rm.loan_servers(1, now=0.0)
+        assert len(moved) == 1
+        returned = rm.return_server(moved[0].server_id, now=1.0)
+        assert not returned.on_loan
+        assert [r.op for r in rm.audit] == ["loan", "return"]
+
+    def test_return_refused_while_containers_run(self, rm):
+        moved = rm.loan_servers(1)[0]
+        job = make_job(fungible=True)
+        rm.launch(job, moved, 1, 1, flexible=False)
+        with pytest.raises(RuntimeError, match="vacated"):
+            rm.return_server(moved.server_id)
+
+
+class TestNodeFailure:
+    def test_base_loss_reported(self, rm):
+        job = make_job(max_workers=2)
+        server = first_server(rm)
+        rm.launch(job, server, 2, 1, flexible=False)
+        report = rm.fail_node(server.server_id, now=4.0)
+        assert report.jobs_lost_base == {job.job_id}
+        assert len(report.lost_containers) == 2
+        assert all(
+            c.state is ContainerState.LOST for c in report.lost_containers
+        )
+        assert server.used_gpus == 0
+        assert not rm.is_healthy(server.server_id)
+
+    def test_flex_only_loss_reported_separately(self, rm):
+        job = make_job(max_workers=6, min_workers=2, elastic=True)
+        base_server, flex_server = rm.pair.training.servers[:2]
+        rm.launch(job, base_server, 2, 1, flexible=False)
+        rm.launch(job, flex_server, 3, 1, flexible=True)
+        report = rm.fail_node(flex_server.server_id)
+        assert report.jobs_lost_base == set()
+        assert report.jobs_lost_flex == {job.job_id: 3}
+
+    def test_base_loss_subsumes_flex_loss(self, rm):
+        job = make_job(max_workers=6, min_workers=2, elastic=True)
+        server = first_server(rm)
+        rm.launch(job, server, 2, 1, flexible=False)
+        rm.launch(job, server, 2, 1, flexible=True)
+        report = rm.fail_node(server.server_id)
+        assert report.jobs_lost_base == {job.job_id}
+        assert job.job_id not in report.jobs_lost_flex
+
+    def test_recovery(self, rm):
+        server = first_server(rm)
+        rm.fail_node(server.server_id)
+        rm.recover_node(server.server_id)
+        assert rm.is_healthy(server.server_id)
+        job = make_job()
+        rm.launch(job, server, 1, 1, flexible=False)  # usable again
+
+    def test_verify_books_detects_drift(self, rm):
+        job = make_job(max_workers=2)
+        server = first_server(rm)
+        rm.launch(job, server, 2, 1, flexible=False)
+        server.release(job.job_id, 1)  # sabotage behind the RM's back
+        with pytest.raises(RuntimeError, match="mismatch"):
+            rm.verify_books()
+
+
+class TestFailureInjection:
+    def run_with_failures(self, mtbf, specs=None, seed=1):
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(2))
+        specs = specs or [
+            JobSpec(job_id=i, submit_time=i * 50.0, duration=2000.0,
+                    max_workers=4)
+            for i in range(8)
+        ]
+        sim = Simulation(
+            specs, pair, LyraScheduler(),
+            config=SimulationConfig(node_mtbf=mtbf, node_repair_time=600.0,
+                                    failure_seed=seed),
+        )
+        metrics = sim.run()
+        return sim, metrics
+
+    def test_failures_happen_and_jobs_still_finish(self):
+        sim, metrics = self.run_with_failures(mtbf=1200.0)
+        assert metrics.node_failures > 0
+        assert all(
+            j.status is JobStatus.FINISHED for j in sim.jobs.values()
+        )
+        assert sim.pair.training.used_gpus == 0
+
+    def test_failed_jobs_pay_restart(self):
+        sim, metrics = self.run_with_failures(mtbf=1500.0)
+        restarted = [j for j in sim.jobs.values() if j.preemptions > 0]
+        if restarted:  # failures hit at least one occupied server
+            for job in restarted:
+                assert job.jct > job.spec.duration
+
+    def test_no_failures_without_mtbf(self):
+        sim, metrics = self.run_with_failures(mtbf=None)
+        assert metrics.node_failures == 0
+        assert metrics.preemptions == 0
+
+    def test_deterministic_failures(self):
+        _, a = self.run_with_failures(mtbf=1000.0, seed=3)
+        _, b = self.run_with_failures(mtbf=1000.0, seed=3)
+        assert a.node_failures == b.node_failures
+        assert a.jct_summary().mean == b.jct_summary().mean
+
+    def test_elastic_job_survives_flex_loss(self):
+        # One elastic job spanning base+flex: flex losses shrink it but
+        # the job keeps running (no preemption) unless base is hit.
+        specs = [
+            JobSpec(job_id=0, submit_time=0.0, duration=4000.0,
+                    max_workers=16, min_workers=4, elastic=True),
+        ]
+        sim, metrics = self.run_with_failures(mtbf=2000.0, specs=specs)
+        job = sim.jobs[0]
+        assert job.status is JobStatus.FINISHED

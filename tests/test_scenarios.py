@@ -1,0 +1,144 @@
+"""Tests for scenario transforms and the experiment runner."""
+
+import pytest
+
+from repro.cluster.job import JobSpec
+from repro.scenarios import (
+    SCENARIOS,
+    SCHEMES,
+    apply_scenario,
+    default_setup,
+    make_policy,
+    run_scheme,
+    with_checkpointing_fraction,
+    with_elastic_fraction,
+    with_heterogeneous_fraction,
+)
+from repro.traces.workload import TraceConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return generate_workload(
+        TraceConfig(num_jobs=400, days=1.0, cluster_gpus=64, seed=13)
+    ).specs
+
+
+class TestTransforms:
+    def test_heterogeneous_fraction(self, specs):
+        out = with_heterogeneous_fraction(specs, 0.25, seed=1)
+        frac = sum(1 for s in out if s.heterogeneous) / len(out)
+        assert frac == pytest.approx(0.25, abs=0.01)
+
+    def test_checkpointing_fraction(self, specs):
+        out = with_checkpointing_fraction(specs, 0.8, seed=1)
+        frac = sum(1 for s in out if s.checkpointing) / len(out)
+        assert frac == pytest.approx(0.8, abs=0.01)
+
+    def test_elastic_fraction_counts_existing(self, specs):
+        out = with_elastic_fraction(specs, 0.5, seed=1)
+        frac = sum(1 for s in out if s.elastic) / len(out)
+        assert frac == pytest.approx(0.5, abs=0.01)
+
+    def test_elastic_conversion_preserves_work(self, specs):
+        out = with_elastic_fraction(specs, 1.0, seed=1)
+        assert sum(s.total_work for s in out) == pytest.approx(
+            sum(s.total_work for s in specs)
+        )
+
+    def test_elastic_conversion_rule(self, specs):
+        out = with_elastic_fraction(specs, 1.0, seed=1)
+        for before, after in zip(specs, out):
+            if not before.elastic:
+                assert after.min_workers == before.max_workers
+                assert after.max_workers == 2 * before.max_workers
+
+
+class TestApplyScenario:
+    def test_basic_is_identity(self, specs):
+        assert apply_scenario(specs, "basic") == list(specs)
+
+    def test_advanced_adds_hetero(self, specs):
+        out = apply_scenario(specs, "advanced", seed=2)
+        frac = sum(1 for s in out if s.heterogeneous) / len(out)
+        assert frac == pytest.approx(0.10, abs=0.01)
+        # fungible population unchanged
+        assert sum(s.fungible for s in out) == sum(s.fungible for s in specs)
+
+    def test_heterogeneous_disables_fungible(self, specs):
+        out = apply_scenario(specs, "heterogeneous", seed=2)
+        assert not any(s.fungible for s in out)
+        assert any(s.heterogeneous for s in out)
+
+    def test_ideal_makes_everything_flexible(self, specs):
+        out = apply_scenario(specs, "ideal", seed=2)
+        assert all(s.elastic for s in out)
+        assert all(s.fungible for s in out)
+        assert all(s.heterogeneous for s in out)
+
+    def test_unknown_scenario_rejected(self, specs):
+        with pytest.raises(ValueError):
+            apply_scenario(specs, "extreme")
+
+    def test_all_declared_scenarios_apply(self, specs):
+        for scenario in SCENARIOS:
+            out = apply_scenario(specs, scenario, seed=0)
+            assert len(out) == len(specs)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return default_setup(
+            num_jobs=80, days=0.5, training_servers=6, inference_servers=8,
+            seed=21,
+        )
+
+    def test_unknown_scheme_rejected(self, setup):
+        with pytest.raises(ValueError):
+            run_scheme(setup, "magic")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("nope")
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_every_scheme_completes(self, setup, scheme):
+        metrics = run_scheme(setup, scheme)
+        assert metrics.completion_ratio() >= 0.9
+        assert metrics.jct_summary().mean > 0
+
+    def test_loaning_schemes_loan(self, setup):
+        metrics = run_scheme(setup, "lyra")
+        assert metrics.loan_ops
+
+    def test_non_loaning_schemes_do_not(self, setup):
+        metrics = run_scheme(setup, "baseline")
+        assert not metrics.loan_ops
+        assert metrics.preemptions == 0
+
+    def test_estimate_error_injection(self, setup):
+        metrics = run_scheme(
+            setup, "lyra_scaling", estimate_error=(0.6, 0.25), seed=3
+        )
+        assert metrics.completion_ratio() >= 0.9
+
+    def test_sublinear_scaling_runs(self, setup):
+        metrics = run_scheme(setup, "lyra_scaling", scaling_model="sublinear20")
+        assert metrics.completion_ratio() >= 0.9
+
+    def test_ideal_scenario_runs(self, setup):
+        metrics = run_scheme(setup, "lyra", scenario="ideal")
+        assert metrics.completion_ratio() >= 0.9
+
+    def test_deterministic_given_seed(self, setup):
+        a = run_scheme(setup, "lyra", seed=5)
+        b = run_scheme(setup, "lyra", seed=5)
+        assert a.jct_summary().mean == b.jct_summary().mean
+
+    def test_custom_specs_override(self, setup):
+        specs = [
+            JobSpec(job_id=0, submit_time=0.0, duration=100.0, max_workers=2)
+        ]
+        metrics = run_scheme(setup, "baseline", specs=specs)
+        assert metrics.submissions == 1

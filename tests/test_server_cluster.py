@@ -1,0 +1,176 @@
+"""Unit tests for servers, clusters and the whitelist loaning API."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    Cluster,
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.cluster.gpu import T4, V100
+from repro.cluster.server import Server
+
+
+class TestServer:
+    def make(self, **kw):
+        return Server(server_id="s1", gpu_type=V100, **kw)
+
+    def test_initially_idle(self):
+        server = self.make()
+        assert server.idle
+        assert server.free_gpus == 8
+        assert server.job_count == 0
+
+    def test_allocate_and_release(self):
+        server = self.make()
+        server.allocate(1, 3)
+        server.allocate(2, 2)
+        assert server.used_gpus == 5
+        assert server.free_gpus == 3
+        assert server.release(1) == 3
+        assert server.free_gpus == 6
+
+    def test_allocate_accumulates_per_job(self):
+        server = self.make()
+        server.allocate(1, 2)
+        server.allocate(1, 2)
+        assert server.allocations[1] == 4
+
+    def test_allocate_over_capacity_raises(self):
+        server = self.make()
+        with pytest.raises(ValueError, match="only 8 free"):
+            server.allocate(1, 9)
+
+    def test_allocate_zero_raises(self):
+        with pytest.raises(ValueError):
+            self.make().allocate(1, 0)
+
+    def test_partial_release(self):
+        server = self.make()
+        server.allocate(1, 6)
+        assert server.release(1, 2) == 2
+        assert server.allocations[1] == 4
+
+    def test_release_more_than_held_releases_all(self):
+        server = self.make()
+        server.allocate(1, 4)
+        assert server.release(1, 10) == 4
+        assert 1 not in server.allocations
+
+    def test_release_absent_job_is_noop(self):
+        assert self.make().release(99) == 0
+
+    def test_normalized_gpus_for_t4(self):
+        server = Server(server_id="i1", gpu_type=T4, home_cluster="inference")
+        assert server.normalized_gpus == pytest.approx(8 / 3)
+
+    def test_rejects_bad_home_cluster(self):
+        with pytest.raises(ValueError):
+            Server(server_id="x", gpu_type=V100, home_cluster="edge")
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            Server(server_id="x", gpu_type=V100, num_gpus=0)
+
+
+class TestCluster:
+    def test_factories_build_expected_sizes(self):
+        training = make_training_cluster(4)
+        inference = make_inference_cluster(3)
+        assert training.total_gpus == 32
+        assert inference.total_gpus == 24
+        assert all(s.gpu_type is V100 for s in training.servers)
+        assert all(s.gpu_type is T4 for s in inference.servers)
+
+    def test_duplicate_server_rejected(self):
+        cluster = make_training_cluster(1)
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.add_server(cluster.servers[0])
+
+    def test_remove_requires_vacant(self):
+        cluster = make_training_cluster(1)
+        cluster.servers[0].allocate(1, 2)
+        with pytest.raises(RuntimeError, match="still hosts"):
+            cluster.remove_server(cluster.servers[0].server_id)
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_training_cluster(1).remove_server("nope")
+
+    def test_utilization(self):
+        cluster = make_training_cluster(2)
+        assert cluster.utilization() == 0.0
+        cluster.servers[0].allocate(1, 8)
+        assert cluster.utilization() == pytest.approx(0.5)
+
+    def test_release_job_everywhere(self):
+        cluster = make_training_cluster(2)
+        cluster.servers[0].allocate(7, 4)
+        cluster.servers[1].allocate(7, 2)
+        assert cluster.release_job(7) == 6
+        assert cluster.free_gpus == 16
+
+    def test_contains_and_len(self):
+        cluster = make_training_cluster(3)
+        assert len(cluster) == 3
+        assert "train-0000" in cluster
+        assert "nope" not in cluster
+
+    def test_empty_cluster_utilization_zero(self):
+        assert Cluster("empty").utilization() == 0.0
+
+
+class TestClusterPair:
+    def make_pair(self):
+        return ClusterPair(make_training_cluster(2), make_inference_cluster(3))
+
+    def test_loan_moves_idle_servers(self):
+        pair = self.make_pair()
+        moved = pair.loan(2)
+        assert len(moved) == 2
+        assert pair.loaned_count == 2
+        assert len(pair.inference) == 1
+        assert all(s.on_loan for s in moved)
+        assert all(s.server_id in pair.training for s in moved)
+
+    def test_loan_skips_busy_servers(self):
+        pair = self.make_pair()
+        pair.inference.servers[0].allocate(1, 1)
+        moved = pair.loan(3)
+        assert len(moved) == 2  # only the idle ones move
+
+    def test_loan_more_than_available(self):
+        pair = self.make_pair()
+        assert len(pair.loan(10)) == 3
+
+    def test_loan_negative_raises(self):
+        with pytest.raises(ValueError):
+            self.make_pair().loan(-1)
+
+    def test_return_server_round_trip(self):
+        pair = self.make_pair()
+        server = pair.loan(1)[0]
+        returned = pair.return_server(server.server_id)
+        assert not returned.on_loan
+        assert returned.group is None
+        assert pair.loaned_count == 0
+        assert len(pair.inference) == 3
+
+    def test_return_requires_on_loan(self):
+        pair = self.make_pair()
+        with pytest.raises(ValueError, match="not on loan"):
+            pair.return_server(pair.training.servers[0].server_id)
+
+    def test_return_requires_vacant(self):
+        pair = self.make_pair()
+        server = pair.loan(1)[0]
+        server.allocate(1, 2)
+        with pytest.raises(RuntimeError):
+            pair.return_server(server.server_id)
+
+    def test_training_views_split_loaned(self):
+        pair = self.make_pair()
+        pair.loan(2)
+        assert len(pair.training.on_loan_servers) == 2
+        assert len(pair.training.dedicated_servers) == 2

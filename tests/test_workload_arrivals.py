@@ -1,0 +1,106 @@
+"""Additional workload-generator properties: arrivals, congestion, and
+scenario interactions not covered by the calibration tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import apply_scenario, with_elastic_fraction
+from repro.traces.workload import DAY, TraceConfig, generate_workload
+
+
+class TestArrivalProcess:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_workload(
+            TraceConfig(num_jobs=4000, days=7.0, cluster_gpus=512, seed=3)
+        )
+
+    def test_every_day_receives_arrivals(self, workload):
+        days = {int(s.submit_time // DAY) for s in workload.specs}
+        assert days == set(range(7))
+
+    def test_arrival_rate_varies_by_hour(self, workload):
+        """The diurnal intensity must produce non-uniform hourly counts."""
+        counts = np.zeros(24)
+        for s in workload.specs:
+            counts[int((s.submit_time % DAY) // 3600)] += 1
+        assert counts.max() > 1.4 * counts.min()
+
+    def test_no_single_hour_dominates(self, workload):
+        counts = {}
+        for s in workload.specs:
+            counts.setdefault(int(s.submit_time // 3600), 0)
+            counts[int(s.submit_time // 3600)] += 1
+        assert max(counts.values()) < 0.1 * len(workload.specs)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_every_seed_is_valid(self, seed):
+        workload = generate_workload(
+            TraceConfig(num_jobs=60, days=1.0, cluster_gpus=64, seed=seed)
+        )
+        assert len(workload.specs) == 60
+        # tiny traces cannot always hit the target exactly once the
+        # span-relative duration caps bind; the 3,000-job calibration
+        # test asserts the tight band
+        assert workload.offered_load() == pytest.approx(0.95, abs=0.3)
+        for spec in workload.specs:
+            assert spec.duration >= 60.0
+            assert 1 <= spec.min_workers <= spec.max_workers
+            assert spec.gpus_per_worker in (1, 2)
+
+
+class TestDurationCaps:
+    def test_regular_durations_capped_relative_to_span(self):
+        workload = generate_workload(
+            TraceConfig(num_jobs=800, days=2.0, cluster_gpus=128, seed=5)
+        )
+        cap = 2.0 * DAY / 4.0
+        for spec in workload.specs:
+            if not spec.elastic:
+                assert spec.duration <= cap + 1e-6
+
+    def test_elastic_durations_capped_at_half_span(self):
+        workload = generate_workload(
+            TraceConfig(num_jobs=800, days=2.0, cluster_gpus=128, seed=5)
+        )
+        cap = 2.0 * DAY / 2.0
+        for spec in workload.specs:
+            if spec.elastic:
+                assert spec.duration <= cap + 1e-6
+
+
+class TestScenarioInteractions:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return generate_workload(
+            TraceConfig(num_jobs=300, days=1.0, cluster_gpus=96, seed=8)
+        ).specs
+
+    def test_ideal_preserves_total_work(self, specs):
+        ideal = apply_scenario(specs, "ideal")
+        assert sum(s.total_work for s in ideal) == pytest.approx(
+            sum(s.total_work for s in specs)
+        )
+
+    def test_heterogeneous_scenario_preserves_elasticity(self, specs):
+        out = apply_scenario(specs, "heterogeneous", seed=1)
+        assert sum(s.elastic for s in out) == sum(s.elastic for s in specs)
+
+    def test_elastic_fraction_idempotent_at_current_level(self, specs):
+        current = sum(1 for s in specs if s.elastic) / len(specs)
+        out = with_elastic_fraction(specs, current, seed=1)
+        assert [s.elastic for s in out] == [s.elastic for s in specs]
+
+    def test_transforms_keep_ids_stable(self, specs):
+        for scenario in ("advanced", "heterogeneous", "ideal"):
+            out = apply_scenario(specs, scenario, seed=2)
+            assert [s.job_id for s in out] == [s.job_id for s in specs]
+
+    def test_transforms_keep_arrivals_stable(self, specs):
+        out = apply_scenario(specs, "ideal")
+        assert [s.submit_time for s in out] == [
+            s.submit_time for s in specs
+        ]
