@@ -59,19 +59,17 @@ def bench_fig9_onloan_usage(benchmark):
     )
     gpu_series = metrics.onloan_usage
     busy_series = metrics.onloan_busy
-    daily = {}
-    for t, gpu, busy in zip(
-        gpu_series.times, gpu_series.values, busy_series.values
-    ):
-        daily.setdefault(int(t // 86400), []).append((gpu, busy))
+    # Both series share sampling times, so their daily buckets align.
+    gpu_daily = gpu_series.buckets(width=86400.0)
+    busy_daily = busy_series.buckets(width=86400.0)
     rows = [
         [
             day,
-            float(np.mean([g for g, _ in vs])),
-            float(np.mean([b for _, b in vs])),
-            len(vs),
+            float(np.mean(gpu_daily[day])),
+            float(np.mean(busy_daily[day])),
+            len(gpu_daily[day]),
         ]
-        for day, vs in sorted(daily.items())
+        for day in sorted(gpu_daily)
     ]
     mean_busy = float(np.mean(busy_series.values))
     emit("fig9", "Fig. 9: daily average usage of on-loan servers",

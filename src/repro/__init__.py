@@ -14,11 +14,14 @@ Public API highlights:
 * :mod:`repro.elastic` — scaling models, elastic job controller,
   hyperparameter tuning.
 * :mod:`repro.predictor` — the NumPy LSTM usage predictor.
+* :mod:`repro.obs` — observability: event tracing, metrics registry,
+  phase profiling and trace inspection (docs/OBSERVABILITY.md).
 * :mod:`repro.scenarios` — evaluation scenarios and the experiment
   runner (:func:`repro.scenarios.run_scheme`).
 """
 
 from repro.analysis import compare_to_paper, render_report
+from repro.obs import Observability
 from repro.profiler import JobProfiler
 from repro.scenarios import (
     SCENARIOS,
@@ -36,6 +39,7 @@ __all__ = [
     "SCENARIOS",
     "SCHEMES",
     "ExperimentSetup",
+    "Observability",
     "apply_scenario",
     "compare_to_paper",
     "default_setup",

@@ -2,9 +2,12 @@
 
 Commands:
 
-* ``run``      — run one scheme on a generated trace and print metrics.
+* ``run``      — run one scheme on a generated trace and print metrics
+  (``--trace out.jsonl`` additionally exports a structured event trace).
 * ``compare``  — run several schemes on the same trace, print a table.
 * ``trace``    — generate a synthetic trace and describe (or export) it.
+* ``inspect``  — summarize an exported event trace (phase timings,
+  preemption causes, reclaim timeline).
 * ``paper``    — print the paper's published numbers for a table.
 
 Everything is seeded; two invocations with the same arguments produce
@@ -20,6 +23,12 @@ from typing import Optional, Sequence
 
 from repro import paper
 from repro.analysis import compare_to_paper, render_report
+from repro.obs import (
+    Observability,
+    TraceFormatError,
+    configure_logging,
+    inspect_trace,
+)
 from repro.scenarios import (
     SCENARIOS,
     SCHEMES,
@@ -29,6 +38,14 @@ from repro.scenarios import (
 from repro.simulator.metrics import SimulationMetrics, reduction
 from repro.traces.io import load_workload
 from repro.traces.workload import TraceConfig, generate_workload
+
+
+def _add_log_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable library logging at this level (silent by default)",
+    )
 
 
 def _add_setup_args(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +58,7 @@ def _add_setup_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--load", type=float, default=1.0,
                         help="offered load relative to cluster capacity")
+    _add_log_arg(parser)
 
 
 def _make_setup(args):
@@ -92,18 +110,26 @@ def _print_metrics(name: str, metrics: SimulationMetrics) -> None:
 def cmd_run(args) -> int:
     setup = _make_setup(args)
     specs = None
-    if getattr(args, "trace", None):
+    if getattr(args, "replay", None):
         specs = load_workload(
-            args.trace, cluster_gpus=args.training_servers * 8
+            args.replay, cluster_gpus=args.training_servers * 8
         ).specs
+    obs = None
+    if getattr(args, "trace", None):
+        obs = Observability.enabled()
     metrics = run_scheme(
         setup, args.scheme, scenario=args.scenario, seed=args.seed,
-        scaling_model=args.scaling_model, specs=specs,
+        scaling_model=args.scaling_model, specs=specs, obs=obs,
     )
     if args.json:
         print(json.dumps(_metrics_dict(metrics), indent=2))
     else:
         _print_metrics(args.scheme, metrics)
+    if obs is not None:
+        records = obs.export_trace(args.trace, format=args.trace_format)
+        print(f"wrote {records} trace records to {args.trace} "
+              f"({args.trace_format}); summarize with "
+              f"`repro inspect {args.trace}`")
     return 0
 
 
@@ -201,6 +227,19 @@ def cmd_report(args) -> int:
     return 0 if all(c.holds for c in checks) else 1
 
 
+def cmd_inspect(args) -> int:
+    """Summarize an exported event trace."""
+    try:
+        print(inspect_trace(args.trace_file, top=args.top))
+    except FileNotFoundError:
+        print(f"no such trace file: {args.trace_file}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"cannot parse trace: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_paper(args) -> int:
     tables = {
         "table5": paper.TABLE5,
@@ -239,9 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scaling-model", default="linear",
                        choices=["linear", "sublinear20"])
     run_p.add_argument("--json", action="store_true")
+    run_p.add_argument("--replay",
+                       help="replay a saved workload trace (.json/.csv) "
+                            "instead of generating one")
     run_p.add_argument("--trace",
-                       help="replay a saved trace (.json/.csv) instead of "
-                            "generating one")
+                       help="export a structured event trace to this path")
+    run_p.add_argument("--trace-format", default="jsonl",
+                       choices=["jsonl", "chrome"],
+                       help="event-trace format: JSON lines, or Chrome "
+                            "trace_event for about://tracing / Perfetto")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run several schemes")
@@ -266,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_setup_args(report_p)
     report_p.set_defaults(func=cmd_report)
 
+    inspect_p = sub.add_parser(
+        "inspect", help="summarize an exported event trace"
+    )
+    inspect_p.add_argument("trace_file", help="trace written by run --trace")
+    inspect_p.add_argument("--top", type=int, default=5,
+                           help="how many worst-preempted jobs to list")
+    _add_log_arg(inspect_p)
+    inspect_p.set_defaults(func=cmd_inspect)
+
     paper_p = sub.add_parser("paper", help="show the paper's numbers")
     paper_p.add_argument("table", help="table5|table7|table8|table9|"
                                        "table10|headlines|fig1|workload")
@@ -275,6 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "log_level", None):
+        configure_logging(args.log_level)
     return args.func(args)
 
 

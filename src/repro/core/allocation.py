@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.job import Job
 from repro.core.mckp import Item, solve_mckp
+from repro.obs.profiling import NULL_PROFILER, PHASE_MCKP_SOLVE
 
 #: Placement domains an allocation can draw from.
 TRAINING = "training"
@@ -227,6 +228,7 @@ def allocate_two_phase(
     pools: Pools,
     order_key=None,
     value_fn=jct_reduction_value,
+    phases=None,
 ) -> AllocationDecision:
     """Run both allocation phases for one scheduling epoch.
 
@@ -237,10 +239,14 @@ def allocate_two_phase(
             credited those workers' GPUs back into ``pools`` (§5.2: the
             available resources include GPUs used by flexible workers).
         pools: Free capacity; consumed in place.
+        phases: Optional :class:`~repro.obs.profiling.PhaseProfiler`
+            that times the MCKP DP solve.
 
     Returns:
         The combined :class:`AllocationDecision`.
     """
+    if phases is None:
+        phases = NULL_PROFILER
     decision = AllocationDecision()
     decision.scheduled, decision.skipped = sjf_phase(
         pending, pools, order_key=order_key
@@ -253,7 +259,8 @@ def allocate_two_phase(
         groups = build_flex_groups(
             elastic_jobs, max_weight=pools.total, value_fn=value_fn
         )
-        value, choices = solve_mckp(groups, pools.total)
+        with phases.phase(PHASE_MCKP_SOLVE):
+            value, choices = solve_mckp(groups, pools.total)
         decision.mckp_value = value
         for job, choice in zip(elastic_jobs, choices):
             extra = choice.payload[1] if choice is not None else 0

@@ -22,10 +22,15 @@ from repro.core.reclaim import (
     plan_reclaim_lyra,
     plan_reclaim_random,
     plan_reclaim_scf,
+    server_preemption_cost,
 )
+from repro.obs import get_logger
+from repro.obs.profiling import PHASE_ORCH_TICK, PHASE_RECLAIM_PLAN
 from repro.simulator.events import EventKind
 
 RECLAIMERS = ("lyra", "random", "scf")
+
+logger = get_logger("orchestrator")
 
 
 class ResourceOrchestrator:
@@ -161,6 +166,10 @@ class ResourceOrchestrator:
         borrowed is additionally capped by the training side's current
         demand, so on-loan servers stay productive (Fig. 9).
         """
+        with sim.phase(PHASE_ORCH_TICK):
+            self._tick(sim)
+
+    def _tick(self, sim: "Simulation") -> None:
         self._target_history.append(self.target_loanable(sim))
         recent = self._target_history[-3:]
         supply = sorted(recent)[len(recent) // 2]
@@ -170,8 +179,12 @@ class ResourceOrchestrator:
             self._surplus_ticks = 0
             moved = sim.rm.loan_servers(target - current, now=sim.now)
             if moved:
+                server_ids = [s.server_id for s in moved]
                 sim.metrics.loan_ops.append(len(moved))
-                sim.log(EventKind.LOAN, detail=[s.server_id for s in moved])
+                sim.log(EventKind.LOAN, detail=server_ids,
+                        servers=server_ids, requested=target - current)
+                logger.debug("loaned %d servers at %.0f",
+                             len(moved), sim.now)
                 sim.trigger_schedule()
         elif supply < current:
             # Inference-driven: the lender wants servers back now.
@@ -201,9 +214,22 @@ class ResourceOrchestrator:
 
     def _reclaim(self, sim: "Simulation", demand: int,
                  record_metrics: bool = True) -> None:
-        plan = self._plan(sim, demand)
+        with sim.phase(PHASE_RECLAIM_PLAN):
+            plan = self._plan(sim, demand)
         if not plan.servers:
             return
+        # Per-server preemption costs (Table 1's metric), captured for
+        # the trace before executing the plan mutates the placements.
+        costs = None
+        if sim.tracer.enabled:
+            costs = {
+                sid: round(
+                    server_preemption_cost(sim.pair.training.get(sid),
+                                           sim.jobs), 4,
+                )
+                for sid in plan.servers
+                if sid in sim.pair.training
+            }
         # 1. Scale elastic jobs in (no preemption).
         for job_id, per_server in plan.scaled_in.items():
             job = sim.jobs[job_id]
@@ -212,7 +238,7 @@ class ResourceOrchestrator:
         # 2. Preempt the jobs the plan sacrificed.
         for job_id in plan.preempted_jobs:
             if job_id in sim.running:
-                sim.preempt(sim.jobs[job_id])
+                sim.preempt(sim.jobs[job_id], cause="reclaim")
         # 3. Return the vacated servers; force-clear any stragglers the
         #    planner's model missed (defensive - should not trigger).
         returned = 0
@@ -223,28 +249,42 @@ class ResourceOrchestrator:
             server = sim.pair.training.get(server_id)
             for job_id in list(server.allocations):
                 if job_id in sim.running:
-                    sim.preempt(sim.jobs[job_id])
+                    sim.preempt(sim.jobs[job_id], cause="reclaim")
                     plan.preempted_jobs.add(job_id)
                 else:  # released placement left behind: clean up
                     server.release(job_id)
             gpus_per_server = server.num_gpus
             sim.rm.return_server(server_id, now=sim.now)
             returned += 1
+        collateral_frac = None
+        if gpus_per_server:
+            collateral_frac = plan.collateral_gpus / (demand * gpus_per_server)
         if returned and record_metrics:
             sim.metrics.reclaim_ops.append(returned)
             sim.metrics.flex_satisfied.append(
                 min(1.0, plan.free_servers / demand)
             )
-            if gpus_per_server:
-                sim.metrics.collateral.append(
-                    plan.collateral_gpus / (demand * gpus_per_server)
-                )
+            if collateral_frac is not None:
+                sim.metrics.collateral.append(collateral_frac)
+        if returned:
             sim.log(
                 EventKind.RECLAIM,
                 detail={
                     "servers": plan.servers,
                     "preempted": sorted(plan.preempted_jobs),
                 },
+                demand=demand,
+                servers=list(plan.servers),
+                preempted=sorted(plan.preempted_jobs),
+                scaled_in=sorted(plan.scaled_in),
+                free_servers=plan.free_servers,
+                collateral=collateral_frac,
+                preemption_costs=costs,
+                inference_driven=record_metrics,
             )
-        if returned:
+            logger.info(
+                "reclaimed %d/%d servers at %.0f (%d preemptions, "
+                "%d scale-ins)", returned, demand, sim.now,
+                len(plan.preempted_jobs), len(plan.scaled_in),
+            )
             sim.trigger_schedule()

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import Callable, List, Optional, Set
+
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class ControllerState(enum.Enum):
@@ -50,6 +52,10 @@ class ElasticController:
     _base: Set[str] = field(default_factory=set)
     #: membership history, one frozenset per generation (for audits)
     history: List[frozenset] = field(default_factory=list)
+    #: structured-event sink (disabled by default, costs nothing)
+    tracer: Tracer = field(default=NULL_TRACER, repr=False)
+    #: time source for emitted events (e.g. ``lambda: sim.now``)
+    clock: Optional[Callable[[], float]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 1 <= self.min_workers <= self.max_workers:
@@ -69,6 +75,18 @@ class ElasticController:
     def _bump(self) -> None:
         self.generation += 1
         self.history.append(frozenset(self._workers))
+
+    def _emit(self, name: str, **args) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                name,
+                ts=self.clock() if self.clock is not None else 0.0,
+                job_id=self.job_id,
+                generation=self.generation,
+                state=self.state.value,
+                workers=self.worker_count,
+                **args,
+            )
 
     # ------------------------------------------------------------------
     def join(self, worker_id: str, flexible: bool = False) -> int:
@@ -98,6 +116,7 @@ class ElasticController:
         ):
             self.state = ControllerState.RUNNING
         self._bump()
+        self._emit("elastic.join", worker_id=worker_id, flexible=flexible)
         return self.generation
 
     def leave(self, worker_id: str) -> int:
@@ -115,6 +134,7 @@ class ElasticController:
         self._workers.remove(worker_id)
         self._base.discard(worker_id)
         self._bump()
+        self._emit("elastic.leave", worker_id=worker_id)
         return self.generation
 
     def stop(self) -> None:
@@ -123,3 +143,4 @@ class ElasticController:
         self._workers.clear()
         self._base.clear()
         self._bump()
+        self._emit("elastic.stop")

@@ -1,0 +1,62 @@
+"""Module-level logging, disabled by default.
+
+The ``repro`` logger hierarchy carries a :class:`logging.NullHandler`
+so importing the library never prints anything; an application (or the
+CLI's ``--log-level`` flag) opts in via :func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+LOGGER = logging.getLogger(ROOT_LOGGER_NAME)
+LOGGER.addHandler(logging.NullHandler())
+
+#: the handler configure_logging installed, so re-configuring replaces
+#: rather than stacks handlers
+_active_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return LOGGER
+    return LOGGER.getChild(name)
+
+
+def configure_logging(
+    level: Union[int, str] = "info",
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Enable console logging for the library at ``level``.
+
+    Idempotent: calling again replaces the previous configuration.
+    """
+    global _active_handler
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = numeric
+    if _active_handler is not None:
+        LOGGER.removeHandler(_active_handler)
+    _active_handler = logging.StreamHandler(stream or sys.stderr)
+    _active_handler.setFormatter(logging.Formatter(_FORMAT))
+    LOGGER.addHandler(_active_handler)
+    LOGGER.setLevel(level)
+    return LOGGER
+
+
+def reset_logging() -> None:
+    """Return to the silent, NullHandler-only default (used in tests)."""
+    global _active_handler
+    if _active_handler is not None:
+        LOGGER.removeHandler(_active_handler)
+        _active_handler = None
+    LOGGER.setLevel(logging.NOTSET)

@@ -1,0 +1,135 @@
+"""Wall-clock profiling hooks for the scheduler hot paths.
+
+A :class:`PhaseProfiler` hands out context managers that accumulate
+wall-clock time per named phase (scheduler tick, MCKP DP solve, reclaim
+planning, placement bin-packing).  Like the tracer, it is built to cost
+nothing when disabled: ``phase()`` then returns a shared no-op context
+manager, so instrumented code needs no conditionals.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, NamedTuple
+
+
+class PhaseStat(NamedTuple):
+    """Aggregated wall-clock numbers for one phase."""
+
+    name: str
+    calls: int
+    total_s: float
+    mean_ms: float
+    max_ms: float
+
+
+class _NullPhase:
+    """Shared do-nothing context manager for disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._record(
+            self._name, time.perf_counter() - self._start
+        )
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock totals."""
+
+    __slots__ = ("enabled", "totals", "counts", "maxima")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self.maxima: Dict[str, float] = {}
+
+    @classmethod
+    def disabled(cls) -> "PhaseProfiler":
+        return cls(enabled=False)
+
+    def phase(self, name: str):
+        """Context manager timing one occurrence of ``name``."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Phase(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if elapsed > self.maxima.get(name, 0.0):
+            self.maxima[name] = elapsed
+
+    # ------------------------------------------------------------------
+    def stats(self) -> List[PhaseStat]:
+        """Per-phase aggregates, most expensive first."""
+        out = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            calls = self.counts[name]
+            total = self.totals[name]
+            out.append(PhaseStat(
+                name=name,
+                calls=calls,
+                total_s=total,
+                mean_ms=1e3 * total / calls,
+                max_ms=1e3 * self.maxima[name],
+            ))
+        return out
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            s.name: {
+                "calls": s.calls, "total_s": s.total_s,
+                "mean_ms": s.mean_ms, "max_ms": s.max_ms,
+            }
+            for s in self.stats()
+        }
+
+    def render_table(self) -> str:
+        """The per-phase time breakdown as an aligned text table."""
+        rows = self.stats()
+        header = (f"{'phase':<28}{'calls':>8}{'total s':>10}"
+                  f"{'mean ms':>10}{'max ms':>10}")
+        lines = [header, "-" * len(header)]
+        if not rows:
+            lines.append("(no phases recorded)")
+        for s in rows:
+            lines.append(
+                f"{s.name:<28}{s.calls:>8}{s.total_s:>10.3f}"
+                f"{s.mean_ms:>10.3f}{s.max_ms:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: A process-wide always-off profiler for unwired code paths.
+NULL_PROFILER = PhaseProfiler.disabled()
+
+#: Canonical phase names used by the wired-in hooks.
+PHASE_SCHEDULER_TICK = "scheduler.tick"
+PHASE_MCKP_SOLVE = "scheduler.mckp_solve"
+PHASE_ALLOCATION = "scheduler.allocation"
+PHASE_PLACEMENT = "scheduler.placement"
+PHASE_RECLAIM_PLAN = "orchestrator.reclaim_plan"
+PHASE_ORCH_TICK = "orchestrator.tick"

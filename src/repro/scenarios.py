@@ -27,6 +27,7 @@ from repro.cluster.cluster import (
 )
 from repro.cluster.job import JobSpec
 from repro.core.orchestrator import ResourceOrchestrator
+from repro.obs import Observability
 from repro.schedulers.afs import AFSScheduler
 from repro.schedulers.base import SchedulerPolicy
 from repro.schedulers.fifo import (
@@ -268,6 +269,7 @@ def run_scheme(
     estimate_error: Optional[tuple] = None,
     predictor=None,
     sim_overrides: Optional[dict] = None,
+    obs: Optional[Observability] = None,
     **policy_kwargs,
 ) -> SimulationMetrics:
     """Run one (scheme, scenario) cell and return its metrics.
@@ -286,6 +288,8 @@ def run_scheme(
             uniform factor within ``±max_error``.
         predictor: Optional usage predictor for early reclaiming (§6).
         sim_overrides: Extra :class:`SimulationConfig` fields.
+        obs: Observability bundle (tracer/registry/profiler); omit for
+            the zero-overhead disabled default.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; use one of {sorted(SCHEMES)}")
@@ -322,6 +326,7 @@ def run_scheme(
         inference_trace=trace,
         orchestrator=orchestrator,
         config=config,
+        obs=obs,
     )
     if scenario == "ideal":
         sim.hetero_ideal = True

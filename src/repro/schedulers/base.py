@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.cluster.job import Job
 from repro.core.allocation import Pools
 from repro.core.placement import PlacementEngine, PlacementRequest
+from repro.obs.profiling import PHASE_PLACEMENT
 
 
 class SchedulerPolicy(abc.ABC):
@@ -126,9 +127,10 @@ class SchedulerPolicy(abc.ABC):
             shape = (job.spec.gpus_per_worker, workers, job.spec.fungible)
             if shape in failed_shapes:
                 continue
-            result = engine.place(
-                [PlacementRequest(job, base_workers=workers)]
-            )
+            with sim.phase(PHASE_PLACEMENT):
+                result = engine.place(
+                    [PlacementRequest(job, base_workers=workers)]
+                )
             if result.failed_base:
                 failed_shapes.add(shape)
                 continue

@@ -18,6 +18,7 @@ from typing import Dict, List
 from repro.cluster.job import Job
 from repro.core.allocation import allocate_two_phase, jct_reduction_value
 from repro.core.placement import PlacementRequest
+from repro.obs.profiling import PHASE_ALLOCATION, PHASE_PLACEMENT
 from repro.schedulers.base import SchedulerPolicy
 
 
@@ -56,13 +57,24 @@ class LyraScheduler(SchedulerPolicy):
             self.admit_inelastically(sim, sorted(pending, key=self.order_key))
             return
 
-        decision = allocate_two_phase(
-            pending,
-            running_elastic,
-            pools,
-            order_key=self.order_key,
-            value_fn=self.value_fn,
-        )
+        with sim.phase(PHASE_ALLOCATION):
+            decision = allocate_two_phase(
+                pending,
+                running_elastic,
+                pools,
+                order_key=self.order_key,
+                value_fn=self.value_fn,
+                phases=sim.obs.phases,
+            )
+        if sim.tracer.enabled:
+            sim.trace(
+                "scheduler.mckp",
+                admitted=len(decision.scheduled),
+                skipped=len(decision.skipped),
+                groups=len(decision.flex),
+                flex_workers=sum(decision.flex.values()),
+                value_s=round(decision.mckp_value, 3),
+            )
 
         # Scale-ins first: free the GPUs that admissions will consume.
         for job in running_elastic:
@@ -91,7 +103,8 @@ class LyraScheduler(SchedulerPolicy):
                 requests.append(PlacementRequest(job, flex_workers=delta))
                 scale_out_jobs.append(job)
 
-        result = engine.place(requests)
+        with sim.phase(PHASE_PLACEMENT):
+            result = engine.place(requests)
         for job in result.placed_base:
             self.update_hetero_penalty(sim, job)
             sim.activate(job)

@@ -6,17 +6,26 @@ whitelist (whose size changes under loaning) and for the combined clusters;
 preemption ratio is total preemptions over total submissions (Table 5
 note 2); collateral damage is the fraction of GPUs vacated in excess of the
 reclaiming demand (§7.3).
+
+:class:`SimulationMetrics` is a reporting facade over a
+:class:`~repro.obs.metrics.MetricsRegistry`: scalar counts live in
+registry counters and the per-op samples in registry histograms, so any
+component holding the registry can record without new fields being
+plumbed through.  The original dataclass construction and attribute
+surface (``metrics.preemptions += 1``, ``metrics.loan_ops.append(...)``)
+is preserved as a compatibility shim.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.job import Job
+from repro.obs.metrics import MetricsRegistry
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
@@ -60,6 +69,14 @@ class TimeSeries:
     times: List[float] = field(default_factory=list)
     values: List[float] = field(default_factory=list)
 
+    @classmethod
+    def from_samples(
+        cls, values: Sequence[float], interval: float, start: float = 0.0
+    ) -> "TimeSeries":
+        """Wrap evenly spaced samples (e.g. a raw utilization array)."""
+        times = [start + i * interval for i in range(len(values))]
+        return cls(times=times, values=[float(v) for v in values])
+
     def append(self, time: float, value: float) -> None:
         self.times.append(time)
         self.values.append(value)
@@ -67,49 +84,167 @@ class TimeSeries:
     def mean(self) -> float:
         return float(np.mean(self.values)) if self.values else math.nan
 
-    def hourly_means(self) -> List[float]:
-        """Average per simulated hour (for Figs. 2 and 7)."""
-        if not self.times:
-            return []
-        buckets: Dict[int, List[float]] = {}
+    # ------------------------------------------------------------------
+    # bucketing (Figs. 2, 7 and 9 aggregate by hour or day)
+    # ------------------------------------------------------------------
+    def buckets(self, width: float = 3600.0) -> Dict[int, List[float]]:
+        """Samples grouped by ``int(t // width)``, insertion-ordered
+        within each bucket."""
+        out: Dict[int, List[float]] = {}
         for t, v in zip(self.times, self.values):
-            buckets.setdefault(int(t // 3600), []).append(v)
+            out.setdefault(int(t // width), []).append(v)
+        return out
+
+    def bucket_bounds(
+        self, width: float = 3600.0
+    ) -> List[Tuple[float, float]]:
+        """``(start, end)`` time of every non-empty bucket, ascending.
+
+        Aligned with the lists :meth:`bucket_means` / :meth:`bucket_max`
+        return, so callers no longer have to reconstruct which hour a
+        value belongs to.
+        """
+        return [
+            (h * width, (h + 1) * width)
+            for h in sorted(self.buckets(width))
+        ]
+
+    def bucket_means(self, width: float = 3600.0) -> List[float]:
+        buckets = self.buckets(width)
         return [float(np.mean(buckets[h])) for h in sorted(buckets)]
 
+    def bucket_max(self, width: float = 3600.0) -> List[float]:
+        buckets = self.buckets(width)
+        return [float(np.max(buckets[h])) for h in sorted(buckets)]
 
-@dataclass
+    def hourly_means(self) -> List[float]:
+        """Average per simulated hour (for Figs. 2 and 7)."""
+        return self.bucket_means(3600.0)
+
+    def hourly_max(self) -> List[float]:
+        """Maximum per simulated hour (peak-tracking curves)."""
+        return self.bucket_max(3600.0)
+
+    def hourly_bounds(self) -> List[Tuple[float, float]]:
+        """Bucket boundaries matching :meth:`hourly_means`."""
+        return self.bucket_bounds(3600.0)
+
+
+#: (attribute, counter metric name) pairs backing the scalar counts.
+_COUNTERS = (
+    ("submissions", "sim.submissions"),
+    ("preemptions", "sim.preemptions"),
+    ("scale_ops", "sim.scale_ops"),
+    ("node_failures", "sim.node_failures"),
+)
+
+#: (attribute, histogram metric name) pairs backing the per-op samples.
+_HISTOGRAMS = (
+    ("loan_ops", "orchestrator.loan_servers"),
+    ("reclaim_ops", "orchestrator.reclaim_servers"),
+    ("collateral", "orchestrator.collateral"),
+    ("flex_satisfied", "orchestrator.flex_satisfied"),
+)
+
+
+def _counter_property(metric_name: str):
+    def getter(self: "SimulationMetrics") -> int:
+        return self.registry.counter(metric_name).value
+
+    def setter(self: "SimulationMetrics", value: int) -> None:
+        self.registry.counter(metric_name).set(value)
+
+    return property(getter, setter)
+
+
+def _histogram_property(metric_name: str):
+    def getter(self: "SimulationMetrics") -> List[float]:
+        # The raw observation list: append() keeps the histogram and the
+        # legacy list attribute in sync because it *is* the histogram.
+        return self.registry.histogram(metric_name).observations
+
+    def setter(self: "SimulationMetrics", values: Sequence[float]) -> None:
+        obs = self.registry.histogram(metric_name).observations
+        obs[:] = list(values)
+
+    return property(getter, setter)
+
+
 class SimulationMetrics:
-    """Everything a finished simulation exposes for reporting."""
+    """Everything a finished simulation exposes for reporting.
 
-    #: finished jobs (the population all distributions are computed over)
-    jobs: List[Job] = field(default_factory=list)
-    #: jobs submitted during the run (denominator of preemption ratio)
-    submissions: int = 0
-    #: total preemption events
-    preemptions: int = 0
-    #: total elastic scale operations issued
-    scale_ops: int = 0
-    #: injected node failures (0 unless failure injection is enabled)
-    node_failures: int = 0
-    #: loaning operations performed (server count each)
-    loan_ops: List[int] = field(default_factory=list)
-    #: reclaim operations performed (server count each)
-    reclaim_ops: List[int] = field(default_factory=list)
-    #: collateral damage per reclaim op (fraction of reclaim demand)
-    collateral: List[float] = field(default_factory=list)
-    #: fraction of each reclaim demand satisfied by the flex group alone
-    flex_satisfied: List[float] = field(default_factory=list)
-    #: training-whitelist GPU usage samples
-    training_usage: TimeSeries = field(default_factory=TimeSeries)
-    #: combined training+inference GPU usage samples
-    overall_usage: TimeSeries = field(default_factory=TimeSeries)
-    #: GPU usage of on-loan servers (sampled only while any are loaned)
-    onloan_usage: TimeSeries = field(default_factory=TimeSeries)
-    #: fraction of on-loan servers hosting at least one worker (the
-    #: Fig. 1-style occupancy metric, used for Fig. 9)
-    onloan_busy: TimeSeries = field(default_factory=TimeSeries)
-    #: fraction of newly submitted jobs that queued, per hour (Fig. 2)
-    hourly_queuing_ratio: List[float] = field(default_factory=list)
+    Attribute surface (unchanged from the original dataclass):
+
+    * ``jobs`` — finished jobs (the population all distributions cover)
+    * ``submissions`` / ``preemptions`` / ``scale_ops`` /
+      ``node_failures`` — scalar counts (registry counters)
+    * ``loan_ops`` / ``reclaim_ops`` — per-op server counts
+    * ``collateral`` / ``flex_satisfied`` — per-reclaim fractions (§7.3)
+    * ``training_usage`` / ``overall_usage`` / ``onloan_usage`` /
+      ``onloan_busy`` — sampled usage time series
+    * ``hourly_queuing_ratio`` — Fig. 2's per-hour queued fraction
+    """
+
+    #: scalar counts, stored as registry counters
+    submissions = _counter_property("sim.submissions")
+    preemptions = _counter_property("sim.preemptions")
+    scale_ops = _counter_property("sim.scale_ops")
+    node_failures = _counter_property("sim.node_failures")
+    #: per-op samples, stored as registry histograms
+    loan_ops = _histogram_property("orchestrator.loan_servers")
+    reclaim_ops = _histogram_property("orchestrator.reclaim_servers")
+    collateral = _histogram_property("orchestrator.collateral")
+    flex_satisfied = _histogram_property("orchestrator.flex_satisfied")
+
+    def __init__(
+        self,
+        jobs: Optional[List[Job]] = None,
+        submissions: int = 0,
+        preemptions: int = 0,
+        scale_ops: int = 0,
+        node_failures: int = 0,
+        loan_ops: Optional[List[int]] = None,
+        reclaim_ops: Optional[List[int]] = None,
+        collateral: Optional[List[float]] = None,
+        flex_satisfied: Optional[List[float]] = None,
+        training_usage: Optional[TimeSeries] = None,
+        overall_usage: Optional[TimeSeries] = None,
+        onloan_usage: Optional[TimeSeries] = None,
+        onloan_busy: Optional[TimeSeries] = None,
+        hourly_queuing_ratio: Optional[List[float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        # Compatibility shim: direct construction (with or without the
+        # old dataclass keywords) still works and self-hosts a registry.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.jobs: List[Job] = jobs if jobs is not None else []
+        self.submissions = submissions
+        self.preemptions = preemptions
+        self.scale_ops = scale_ops
+        self.node_failures = node_failures
+        if loan_ops is not None:
+            self.loan_ops = loan_ops
+        if reclaim_ops is not None:
+            self.reclaim_ops = reclaim_ops
+        if collateral is not None:
+            self.collateral = collateral
+        if flex_satisfied is not None:
+            self.flex_satisfied = flex_satisfied
+        self.training_usage = training_usage or TimeSeries()
+        self.overall_usage = overall_usage or TimeSeries()
+        self.onloan_usage = onloan_usage or TimeSeries()
+        self.onloan_busy = onloan_busy or TimeSeries()
+        self.hourly_queuing_ratio: List[float] = hourly_queuing_ratio or []
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationMetrics(jobs={len(self.jobs)}, "
+            f"submissions={self.submissions}, "
+            f"preemptions={self.preemptions}, "
+            f"scale_ops={self.scale_ops}, "
+            f"loan_ops={len(self.loan_ops)}, "
+            f"reclaim_ops={len(self.reclaim_ops)})"
+        )
 
     # ------------------------------------------------------------------
     # distributions

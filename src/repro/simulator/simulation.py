@@ -32,6 +32,9 @@ import random as _random
 from repro.cluster.cluster import Cluster, ClusterPair
 from repro.cluster.job import Job, JobSpec, JobStatus
 from repro.elastic.throughput import get_scaling_model
+from repro.obs import Observability, get_logger
+from repro.obs.profiling import PHASE_SCHEDULER_TICK
+from repro.obs.tracer import CAT_JOB, CAT_ORCHESTRATOR, CAT_SCHEDULER
 from repro.profiler.profiler import JobProfiler
 from repro.rm.manager import ResourceManager
 from repro.simulator.engine import Engine
@@ -40,6 +43,21 @@ from repro.simulator.metrics import SimulationMetrics
 from repro.traces.inference import InferenceTrace
 
 DAY = 86400.0
+
+logger = get_logger("simulator")
+
+#: Structured-trace (name, category) for each activity kind.
+_TRACE_NAMES = {
+    EventKind.SUBMIT: ("job.submit", CAT_JOB),
+    EventKind.START: ("job.start", CAT_JOB),
+    EventKind.FINISH: ("job.finish", CAT_JOB),
+    EventKind.PREEMPT: ("job.preempt", CAT_JOB),
+    EventKind.SCALE_OUT: ("job.scale_out", CAT_JOB),
+    EventKind.SCALE_IN: ("job.scale_in", CAT_JOB),
+    EventKind.LOAN: ("orchestrator.loan", CAT_ORCHESTRATOR),
+    EventKind.RECLAIM: ("orchestrator.reclaim", CAT_ORCHESTRATOR),
+    EventKind.SCHEDULE_EPOCH: ("scheduler.epoch", CAT_SCHEDULER),
+}
 
 #: Relative tolerance for "the job is done" at a completion event.
 _WORK_EPS = 1e-6
@@ -109,6 +127,7 @@ class Simulation:
         inference_trace: Optional[InferenceTrace] = None,
         orchestrator: Optional["ResourceOrchestrator"] = None,
         config: SimulationConfig = SimulationConfig(),
+        obs: Optional[Observability] = None,
     ):
         self.pair = pair
         self.cluster: Cluster = pair.training
@@ -119,7 +138,9 @@ class Simulation:
         self.orchestrator = orchestrator
         self.config = config
         self.engine = Engine()
-        self.metrics = SimulationMetrics()
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.tracer = self.obs.tracer
+        self.metrics = SimulationMetrics(registry=self.obs.registry)
         self.activities: List[Activity] = []
 
         self.jobs: Dict[int, Job] = {}
@@ -166,13 +187,37 @@ class Simulation:
         )
 
     # ------------------------------------------------------------------
-    # logging
+    # observability
     # ------------------------------------------------------------------
-    def log(self, kind: EventKind, job_id: Optional[int] = None, detail=None):
+    def log(self, kind: EventKind, job_id: Optional[int] = None, detail=None,
+            **trace_args):
+        """Record one activity: calibration log plus structured trace.
+
+        ``detail`` feeds the legacy :class:`Activity` audit trail;
+        ``trace_args`` become the structured event's payload (falling
+        back to ``detail`` when no richer payload is given).
+        """
         if self.config.record_activities:
             self.activities.append(
                 Activity(self.engine.now, kind, job_id, detail)
             )
+        if self.tracer.enabled:
+            name, cat = _TRACE_NAMES[kind]
+            if detail is not None and "detail" not in trace_args:
+                trace_args["detail"] = detail
+            self.tracer.emit(
+                name, ts=self.engine.now, cat=cat, job_id=job_id,
+                **trace_args,
+            )
+
+    def trace(self, name: str, job_id: Optional[int] = None, **args) -> None:
+        """Emit a structured event outside the :class:`EventKind` set."""
+        if self.tracer.enabled:
+            self.tracer.emit(name, ts=self.engine.now, job_id=job_id, **args)
+
+    def phase(self, name: str):
+        """Wall-clock phase timer (no-op unless profiling is enabled)."""
+        return self.obs.phases.phase(name)
 
     # ------------------------------------------------------------------
     # run loop
@@ -218,7 +263,13 @@ class Simulation:
             hour = int(self.engine.now // 3600)
             self._hour_submissions[hour] = self._hour_submissions.get(hour, 0) + 1
             job._arrival_hour = hour  # noqa: SLF001 - simulator-private
-            self.log(EventKind.SUBMIT, job.job_id)
+            self.log(
+                EventKind.SUBMIT, job.job_id,
+                min_workers=job.spec.min_workers,
+                max_workers=job.spec.max_workers,
+                gpus_per_worker=job.spec.gpus_per_worker,
+                elastic=job.spec.elastic,
+            )
             self.trigger_schedule()
 
         return handler
@@ -235,7 +286,8 @@ class Simulation:
         self._tick_pending = False
         self._last_tick = self.engine.now
         self.log(EventKind.SCHEDULE_EPOCH, detail=len(self.pending))
-        self.policy.schedule(self)
+        with self.obs.phases.phase(PHASE_SCHEDULER_TICK):
+            self.policy.schedule(self)
         # First-attempt bookkeeping for the Fig. 2 queuing ratio.
         for job in self.pending:
             if job.job_id not in self._first_attempt_seen:
@@ -269,9 +321,9 @@ class Simulation:
                 used += server.used_gpus
                 dedicated_total += server.num_gpus
         if dedicated_total:
-            self.metrics.training_usage.append(
-                now, min(1.0, used / dedicated_total)
-            )
+            ratio = min(1.0, used / dedicated_total)
+            self.metrics.training_usage.append(now, ratio)
+            self.obs.registry.gauge("usage.training").set(ratio)
 
         total_gpus = self.pair.training.total_gpus + self.pair.inference.total_gpus
         inference_busy = 0.0
@@ -292,6 +344,7 @@ class Simulation:
             )
         overall = (training.used_gpus + inference_busy) / total_gpus if total_gpus else 0.0
         self.metrics.overall_usage.append(now, overall)
+        self.obs.registry.gauge("usage.overall").set(overall)
 
         onloan = training.on_loan_servers
         if onloan:
@@ -333,7 +386,11 @@ class Simulation:
         job.mark_started(self.now)
         self._apply_tuning(job)
         self.running[job.job_id] = job
-        self.log(EventKind.START, job.job_id, detail=job.total_workers)
+        self.log(
+            EventKind.START, job.job_id, detail=job.total_workers,
+            workers=job.total_workers,
+            queued_s=self.now - job.spec.submit_time,
+        )
         self._reschedule_completion(job)
 
     def rescale(self, job: Job, scaled_out: bool) -> None:
@@ -343,7 +400,8 @@ class Simulation:
         job.scale_ops += 1
         self.metrics.scale_ops += 1
         kind = EventKind.SCALE_OUT if scaled_out else EventKind.SCALE_IN
-        self.log(kind, job.job_id, detail=job.total_workers)
+        self.log(kind, job.job_id, detail=job.total_workers,
+                 workers=job.total_workers)
         self._reschedule_completion(job)
 
     def _apply_tuning(self, job: Job) -> None:
@@ -381,16 +439,19 @@ class Simulation:
             del self.running[job.job_id]
             if self.profiler is not None:
                 self.profiler.observe(job.spec, job.spec.duration)
-            self.log(EventKind.FINISH, job.job_id)
+            self.log(EventKind.FINISH, job.job_id, jct_s=job.jct)
+            logger.debug("job %d finished at %.0f (jct %.0f s)",
+                         job.job_id, self.now, job.jct)
             self.trigger_schedule()
 
         return handler
 
-    def preempt(self, job: Job) -> None:
+    def preempt(self, job: Job, cause: str = "scheduler") -> None:
         """Preempt a running job (reclaiming made it inevitable, §4)."""
         if job.job_id not in self.running:
             raise RuntimeError(f"job {job.job_id} is not running")
         job.advance(self.now)  # bank progress before containers die
+        workers = job.total_workers
         self.rm.release_job(job, now=self.now)
         job.mark_preempted(self.now, overhead=self.config.preemption_overhead)
         del self.running[job.job_id]
@@ -399,7 +460,9 @@ class Simulation:
         )
         self.pending.append(job)
         self.metrics.preemptions += 1
-        self.log(EventKind.PREEMPT, job.job_id)
+        self.log(EventKind.PREEMPT, job.job_id, cause=cause, workers=workers)
+        logger.debug("job %d preempted at %.0f (cause=%s)",
+                     job.job_id, self.now, cause)
         self.trigger_schedule()
 
     def scale_in_worker_counts(self, job: Job, server_workers: Dict[str, int]):
@@ -423,6 +486,14 @@ class Simulation:
             server = self._failure_rng.choice(healthy)
             report = self.rm.fail_node(server.server_id, now=self.now)
             self.metrics.node_failures += 1
+            self.trace(
+                "cluster.node_failure", server_id=server.server_id,
+                jobs_lost_base=sorted(report.jobs_lost_base),
+                jobs_lost_flex=sorted(report.jobs_lost_flex),
+            )
+            logger.info("node %s failed at %.0f (%d base jobs lost)",
+                        server.server_id, self.now,
+                        len(report.jobs_lost_base))
             # jobs that lost base workers restart from the queue
             for job_id in report.jobs_lost_base:
                 job = self.jobs[job_id]
@@ -438,6 +509,8 @@ class Simulation:
                     )
                     self.pending.append(job)
                     self.metrics.preemptions += 1
+                    self.log(EventKind.PREEMPT, job_id,
+                             cause="node_failure", workers=0)
             # jobs that only lost flexible workers shrink and continue
             for job_id, workers in report.jobs_lost_flex.items():
                 job = self.jobs[job_id]

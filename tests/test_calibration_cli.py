@@ -232,7 +232,7 @@ class TestCLI:
         path = tmp_path / "t.json"
         save_workload(workload, path)
         rc = main([
-            "run", "--scheme", "baseline", "--trace", str(path),
+            "run", "--scheme", "baseline", "--replay", str(path),
             "--training-servers", "6", "--inference-servers", "6",
             "--json",
         ])

@@ -122,6 +122,28 @@ class TestTimeSeries:
     def test_empty(self):
         assert math.isnan(TimeSeries().mean())
         assert TimeSeries().hourly_means() == []
+        assert TimeSeries().hourly_max() == []
+        assert TimeSeries().hourly_bounds() == []
+
+    def test_hourly_max_and_bounds(self):
+        series = TimeSeries()
+        for t, v in [(0, 0.2), (1800, 0.4), (3600, 1.0), (5400, 0.6)]:
+            series.append(t, v)
+        assert series.hourly_max() == [pytest.approx(0.4), 1.0]
+        assert series.hourly_bounds() == [(0.0, 3600.0), (3600.0, 7200.0)]
+
+    def test_custom_bucket_width(self):
+        series = TimeSeries()
+        for t, v in [(0, 1.0), (100, 3.0), (200, 5.0)]:
+            series.append(t, v)
+        assert series.bucket_means(width=200.0) == [pytest.approx(2.0), 5.0]
+        assert series.bucket_max(width=200.0) == [3.0, 5.0]
+        assert series.buckets(width=200.0) == {0: [1.0, 3.0], 1: [5.0]}
+
+    def test_from_samples(self):
+        series = TimeSeries.from_samples([0.1, 0.2, 0.3], interval=300.0)
+        assert series.times == [0.0, 300.0, 600.0]
+        assert series.values == [0.1, 0.2, 0.3]
 
 
 class TestSimulationMetrics:

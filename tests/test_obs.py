@@ -1,0 +1,437 @@
+"""Tests for the observability subsystem: tracer, metrics registry,
+phase profiler, trace inspection and the CLI wiring."""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.elastic.controller import ElasticController
+from repro.obs import (
+    Observability,
+    SUMMARY_EVENT,
+    TraceFormatError,
+    Tracer,
+    inspect_trace,
+    load_trace,
+    render_summary,
+    summarize,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER, PhaseProfiler
+from repro.scenarios import default_setup, run_scheme
+from repro.simulator.metrics import SimulationMetrics
+
+
+class TestTracer:
+    def test_events_ordered_by_time_then_seq(self):
+        tracer = Tracer()
+        tracer.emit("b", ts=5.0)
+        tracer.emit("a", ts=1.0)
+        tracer.emit("c", ts=1.0)
+        ordered = tracer.sorted_events()
+        assert [(e.ts, e.name) for e in ordered] == [
+            (1.0, "a"), (1.0, "c"), (5.0, "b"),
+        ]
+        # ties broken by emission order
+        assert ordered[0].seq < ordered[1].seq
+
+    def test_category_derived_from_name(self):
+        tracer = Tracer()
+        tracer.emit("job.start", ts=0.0, job_id=3, workers=2)
+        event = tracer.events[0]
+        assert event.cat == "job"
+        assert event.job_id == 3
+        assert event.args == {"workers": 2}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer.disabled()
+        for i in range(100):
+            tracer.emit("job.start", ts=float(i), job_id=i)
+        assert len(tracer) == 0
+        assert tracer.sorted_events() == []
+
+    def test_disabled_tracer_is_cheaper_than_enabled(self):
+        # The whole point of the enabled-flag short-circuit: emitting
+        # into a disabled tracer must beat actually recording events.
+        n = 50_000
+        off, on = Tracer.disabled(), Tracer()
+        t0 = time.perf_counter()
+        for i in range(n):
+            off.emit("job.start", ts=0.0, job_id=i)
+        t_off = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i in range(n):
+            on.emit("job.start", ts=0.0, job_id=i)
+        t_on = time.perf_counter() - t0
+        assert len(off) == 0 and len(on) == n
+        assert t_off < t_on
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("job.submit", ts=0.0, job_id=1)
+        tracer.emit("job.start", ts=2.0, job_id=1, workers=4)
+        path = tmp_path / "t.jsonl"
+        count = tracer.export_jsonl(str(path), summary={"phases": {}})
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "job.submit"
+        assert records[1]["args"] == {"workers": 4}
+        assert records[-1]["name"] == SUMMARY_EVENT
+
+    def test_chrome_export_round_trips_json(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("job.submit", ts=0.0, job_id=1)
+        tracer.emit("job.start", ts=1.0, job_id=1)
+        tracer.emit("job.finish", ts=11.0, job_id=1, jct_s=11.0)
+        tracer.emit("scheduler.epoch", ts=12.0)
+        path = tmp_path / "t.json"
+        tracer.export_chrome(str(path), summary={"metrics": {}})
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 1
+        # microsecond timestamps on the simulated clock
+        assert spans[0]["ts"] == 1_000_000
+        assert spans[0]["dur"] == 10_000_000
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters  # running/pending track exists
+        assert doc["otherData"]["summary"] == {"metrics": {}}
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="jsonl|chrome"):
+            Tracer().export(str(tmp_path / "t"), format="xml")
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("sim.preemptions")
+        a.inc()
+        assert reg.counter("sim.preemptions") is a
+        assert reg.counter("sim.preemptions").value == 1
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", kind="loan").inc(2)
+        reg.counter("ops", kind="reclaim").inc(3)
+        snap = reg.snapshot()
+        assert snap["counters"]["ops{kind=loan}"] == 2
+        assert snap["counters"]["ops{kind=reclaim}"] == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("usage")
+        assert math.isnan(gauge.value)
+        gauge.inc(0.5)
+        gauge.dec(0.25)
+        assert gauge.value == pytest.approx(0.25)
+        hist = reg.histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean() == pytest.approx(2.5)
+        assert hist.percentile(50) == pytest.approx(2.5)
+
+    def test_snapshot_and_find(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.submissions").inc(7)
+        reg.gauge("usage.training").set(0.8)
+        reg.histogram("orchestrator.collateral").observe(0.1)
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.submissions"] == 7
+        assert snap["histograms"]["orchestrator.collateral"]["count"] == 1
+        only_sim = reg.find("sim.")
+        assert only_sim["counters"] == {"sim.submissions": 7}
+        assert only_sim["gauges"] == {}
+
+
+class TestPhaseProfiler:
+    def test_records_calls_and_totals(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.phase("tick"):
+                pass
+        (stat,) = prof.stats()
+        assert stat.name == "tick" and stat.calls == 3
+        assert stat.total_s >= 0.0
+        assert stat.max_ms >= stat.mean_ms * 0.5
+        assert "tick" in prof.render_table()
+
+    def test_stats_sorted_by_total(self):
+        prof = PhaseProfiler()
+        with prof.phase("fast"):
+            pass
+        with prof.phase("slow"):
+            time.sleep(0.002)
+        assert [s.name for s in prof.stats()] == ["slow", "fast"]
+
+    def test_disabled_profiler_shares_null_phase(self):
+        prof = PhaseProfiler.disabled()
+        cm1, cm2 = prof.phase("a"), prof.phase("b")
+        assert cm1 is cm2  # one shared no-op object, no allocation
+        with cm1:
+            pass
+        assert prof.stats() == []
+        assert NULL_PROFILER.phase("x") is cm1
+
+
+class TestSimulationMetricsShim:
+    def test_bare_construction_still_works(self):
+        metrics = SimulationMetrics()
+        metrics.preemptions += 2
+        metrics.loan_ops.append(3)
+        assert metrics.preemptions == 2
+        assert metrics.loan_ops == [3]
+
+    def test_attributes_backed_by_registry(self):
+        reg = MetricsRegistry()
+        metrics = SimulationMetrics(registry=reg)
+        metrics.submissions = 5
+        metrics.reclaim_ops.append(2)
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.submissions"] == 5
+        assert snap["histograms"]["orchestrator.reclaim_servers"]["count"] == 1
+
+
+class TestElasticControllerTracing:
+    def test_membership_changes_emit_events(self):
+        tracer = Tracer()
+        ctrl = ElasticController(
+            job_id=7, min_workers=1, max_workers=4,
+            tracer=tracer, clock=lambda: 42.0,
+        )
+        ctrl.join("w0")
+        ctrl.join("w1", flexible=True)
+        ctrl.leave("w1")
+        ctrl.stop()
+        names = [e.name for e in tracer.events]
+        assert names == [
+            "elastic.join", "elastic.join", "elastic.leave", "elastic.stop",
+        ]
+        assert all(e.ts == 42.0 and e.job_id == 7 for e in tracer.events)
+        assert tracer.events[1].args["flexible"] is True
+
+
+def tiny_obs_run(obs=None):
+    setup = default_setup(
+        num_jobs=60, days=0.5, training_servers=6, inference_servers=8,
+        seed=3,
+    )
+    return run_scheme(setup, "lyra", obs=obs)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        obs = Observability.enabled()
+        tiny_obs_run(obs)
+        path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+        obs.export_trace(str(path))
+        return obs, str(path)
+
+    def test_lifecycle_events_present(self, traced):
+        obs, _ = traced
+        counts = {}
+        for event in obs.tracer.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        assert counts["job.submit"] == 60
+        assert counts["job.start"] == 60
+        assert counts["job.finish"] == 60
+        assert counts.get("scheduler.epoch", 0) > 0
+        assert counts.get("scheduler.mckp", 0) > 0
+
+    def test_phase_timings_recorded(self, traced):
+        obs, _ = traced
+        phases = obs.phases.to_dict()
+        assert "scheduler.tick" in phases
+        assert "scheduler.allocation" in phases
+        assert phases["scheduler.tick"]["calls"] > 0
+
+    def test_every_jsonl_line_parses(self, traced):
+        _, path = traced
+        lines = open(path).read().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert records[-1]["name"] == SUMMARY_EVENT
+        assert "phases" in records[-1]["args"]
+
+    def test_inspect_renders_all_sections(self, traced):
+        _, path = traced
+        report = inspect_trace(path)
+        for section in ("trace overview", "event census",
+                        "phase timing", "recorded metrics"):
+            assert section in report
+
+    def test_seeded_runs_produce_identical_event_streams(self):
+        streams = []
+        for _ in range(2):
+            obs = Observability.enabled()
+            tiny_obs_run(obs)
+            streams.append([
+                (e.ts, e.name, e.job_id, json.dumps(e.args, sort_keys=True,
+                                                    default=str))
+                for e in obs.tracer.sorted_events()
+            ])
+        assert streams[0] == streams[1]
+
+    def test_inspect_deterministic_outside_wall_clock(self, tmp_path):
+        # Everything repro inspect prints before the phase-timing table
+        # is derived from simulated time only, so two seeded runs agree.
+        reports = []
+        for i in range(2):
+            obs = Observability.enabled()
+            tiny_obs_run(obs)
+            path = tmp_path / f"t{i}.jsonl"
+            obs.export_trace(str(path))
+            reports.append(inspect_trace(str(path)))
+        head = [r.split("== phase timing")[0] for r in reports]
+        assert head[0] == head[1]
+
+    def test_disabled_obs_run_matches_default(self):
+        # A run with the disabled bundle reports the same numbers as a
+        # bare run — observability must not perturb the simulation.
+        a = tiny_obs_run()
+        b = tiny_obs_run(Observability.disabled())
+        assert a.jct_summary().mean == b.jct_summary().mean
+        assert a.preemptions == b.preemptions
+
+    def test_chrome_trace_loads_back(self, traced):
+        obs, _ = traced
+        import io
+
+        buf = io.StringIO()
+        obs.tracer.export_chrome(buf, summary=obs.summary())
+        doc = json.loads(buf.getvalue())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestInspectLoader:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace(str(path))
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "job.submit", "ts": 0}\nnot json\n')
+        with pytest.raises(TraceFormatError, match=":2:"):
+            load_trace(str(path))
+
+    def test_chrome_document_auto_detected(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("job.submit", ts=1.0, job_id=4)
+        tracer.emit("job.start", ts=2.0, job_id=4)
+        tracer.emit("job.finish", ts=3.0, job_id=4)
+        path = tmp_path / "t.json"
+        tracer.export_chrome(str(path))
+        trace = load_trace(str(path))
+        # the whole lifecycle survives the Chrome round trip as instants
+        names = [e["name"] for e in trace["events"]]
+        assert names == ["job.submit", "job.start", "job.finish"]
+        event = next(e for e in trace["events"] if e["name"] == "job.submit")
+        assert event["ts"] == pytest.approx(1.0)
+        assert event["job_id"] == 4
+        summary = summarize(trace)
+        assert (summary.submissions, summary.starts, summary.finishes) \
+            == (1, 1, 1)
+
+    def test_summarize_preemption_breakdown(self):
+        trace = {"events": [
+            {"ts": 0.0, "name": "job.preempt", "job_id": 1,
+             "args": {"cause": "reclaim"}},
+            {"ts": 1.0, "name": "job.preempt", "job_id": 1,
+             "args": {"cause": "reclaim"}},
+            {"ts": 2.0, "name": "job.preempt", "job_id": 2,
+             "args": {"cause": "node_failure"}},
+            {"ts": 3.0, "name": "orchestrator.reclaim",
+             "args": {"demand": 2, "servers": ["i0"], "preempted": [1],
+                      "collateral": 0.25}},
+        ], "summary": {}}
+        summary = summarize(trace)
+        assert summary.preemptions == 3
+        assert summary.preempt_causes == {"reclaim": 2, "node_failure": 1}
+        assert summary.preempt_victims == {1: 2, 2: 1}
+        report = render_summary(summary)
+        assert "cause reclaim" in report
+        assert "job 1 ×2" in report
+        assert "0.250" in report
+
+
+class TestLogging:
+    def test_silent_by_default_then_opt_in(self):
+        import io
+        import logging
+
+        from repro.obs.log import (
+            LOGGER, configure_logging, get_logger, reset_logging,
+        )
+
+        try:
+            assert get_logger("simulator").name == "repro.simulator"
+            # default: NullHandler only, nothing propagates to a stream
+            assert all(
+                isinstance(h, logging.NullHandler) for h in LOGGER.handlers
+            )
+            buf = io.StringIO()
+            configure_logging("debug", stream=buf)
+            get_logger("simulator").debug("job 1 finished")
+            assert "job 1 finished" in buf.getvalue()
+            # idempotent: reconfiguring replaces, not stacks
+            configure_logging("debug", stream=io.StringIO())
+            streams = [h for h in LOGGER.handlers
+                       if isinstance(h, logging.StreamHandler)
+                       and not isinstance(h, logging.NullHandler)]
+            assert len(streams) == 1
+            with pytest.raises(ValueError):
+                configure_logging("chatty")
+        finally:
+            reset_logging()
+
+
+class TestCLIObservability:
+    def test_run_trace_then_inspect(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        rc = main([
+            "run", "--scheme", "lyra", "--jobs", "40", "--days", "0.25",
+            "--training-servers", "4", "--inference-servers", "6",
+            "--trace", str(path),
+        ])
+        assert rc == 0
+        assert "trace records" in capsys.readouterr().out
+        assert path.exists()
+        rc = main(["inspect", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== trace overview ==" in out
+        assert "== phase timing (wall clock) ==" in out
+
+    def test_run_trace_chrome_format(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        rc = main([
+            "run", "--scheme", "lyra", "--jobs", "40", "--days", "0.25",
+            "--training-servers", "4", "--inference-servers", "6",
+            "--trace", str(path), "--trace-format", "chrome",
+        ])
+        assert rc == 0
+        json.loads(path.read_text())  # a single valid JSON document
+        assert main(["inspect", str(path)]) == 0
+        assert "job.submit" in capsys.readouterr().out
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["inspect", "/nonexistent/trace.jsonl"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_inspect_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("definitely not json\n")
+        assert main(["inspect", str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
