@@ -3,7 +3,14 @@
 Commands:
 
 * ``run``      — run one scheme on a generated trace and print metrics
-  (``--trace out.jsonl`` additionally exports a structured event trace).
+  (``--trace out.jsonl`` additionally exports a structured event trace;
+  ``--faults PLAN`` injects a fault plan, ``--node-mtbf``/
+  ``--node-repair-time``/``--failure-seed`` drive the legacy Poisson
+  node-failure knobs).
+* ``chaos``    — run one scheme under a named or file-based fault plan
+  and print the resilience snapshot (goodput, lost GPU-hours by cause,
+  time-to-recover).  Seeded: identical arguments give byte-identical
+  ``--json`` output.
 * ``compare``  — run several schemes on the same trace, print a table.
 * ``trace``    — generate a synthetic trace and describe (or export) it.
 * ``inspect``  — summarize an exported event trace (phase timings,
@@ -59,6 +66,42 @@ def _add_setup_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--load", type=float, default=1.0,
                         help="offered load relative to cluster capacity")
     _add_log_arg(parser)
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--node-mtbf", type=float, default=None, metavar="SECONDS",
+        help="per-node mean time between failures; arms a Poisson "
+             "node-failure process (off by default)",
+    )
+    parser.add_argument(
+        "--node-repair-time", type=float, default=3600.0, metavar="SECONDS",
+        help="how long a failed node stays down before recovering",
+    )
+    parser.add_argument(
+        "--failure-seed", type=int, default=None,
+        help="RNG seed for fault injection; defaults to the plan's own "
+             "seed (or 0 for --node-mtbf)",
+    )
+
+
+def _fault_overrides(args) -> dict:
+    """SimulationConfig overrides from the fault-injection CLI knobs."""
+    overrides: dict = {}
+    plan_spec = getattr(args, "faults", None) or getattr(args, "plan", None)
+    if plan_spec:
+        from repro.faults import resolve_plan
+
+        plan = resolve_plan(plan_spec)
+        if args.failure_seed is not None:
+            plan = plan.with_seed(args.failure_seed)
+        overrides["fault_plan"] = plan
+    if args.node_mtbf:
+        overrides["node_mtbf"] = args.node_mtbf
+        overrides["node_repair_time"] = args.node_repair_time
+    if args.failure_seed is not None:
+        overrides["failure_seed"] = args.failure_seed
+    return overrides
 
 
 def _make_setup(args):
@@ -117,19 +160,109 @@ def cmd_run(args) -> int:
     obs = None
     if getattr(args, "trace", None):
         obs = Observability.enabled()
+    sim_overrides = _fault_overrides(args)
     metrics = run_scheme(
         setup, args.scheme, scenario=args.scenario, seed=args.seed,
         scaling_model=args.scaling_model, specs=specs, obs=obs,
+        sim_overrides=sim_overrides or None,
     )
     if args.json:
-        print(json.dumps(_metrics_dict(metrics), indent=2))
+        data = _metrics_dict(metrics)
+        if sim_overrides:
+            from repro.faults import resilience_snapshot
+
+            data["resilience"] = resilience_snapshot(
+                metrics, plan=sim_overrides.get("fault_plan")
+            )
+        print(json.dumps(data, indent=2, sort_keys=bool(sim_overrides)))
     else:
         _print_metrics(args.scheme, metrics)
+        if sim_overrides:
+            print(f"  faults   node failures {metrics.node_failures}   "
+                  f"preemptions {metrics.preemptions}")
     if obs is not None:
         records = obs.export_trace(args.trace, format=args.trace_format)
         print(f"wrote {records} trace records to {args.trace} "
               f"({args.trace_format}); summarize with "
               f"`repro inspect {args.trace}`")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run one scheme under a fault plan and report resilience metrics."""
+    from repro.faults import BUILTIN_PLANS, resilience_snapshot, resolve_plan
+
+    if args.list_plans:
+        for name, plan in sorted(BUILTIN_PLANS.items()):
+            parts = []
+            if plan.process:
+                parts.append(f"mtbf {plan.process.mtbf / 3600:.0f}h")
+            if plan.outages:
+                parts.append(f"{len(plan.outages)} outage(s)")
+            if plan.stragglers:
+                parts.append(f"{len(plan.stragglers)} straggler(s)")
+            if plan.flash_crowds:
+                parts.append(f"{len(plan.flash_crowds)} flash crowd(s)")
+            if plan.predictor_outages or plan.predictor_biases:
+                parts.append("predictor faults")
+            if plan.launch_failures:
+                parts.append(
+                    f"launch p={plan.launch_failures.probability:g}"
+                )
+            print(f"  {name:<12} {', '.join(parts) or 'no faults'}")
+        return 0
+
+    plan = resolve_plan(args.plan)
+    if args.failure_seed is not None:
+        plan = plan.with_seed(args.failure_seed)
+    setup = _make_setup(args)
+    obs = Observability.enabled() if args.trace else None
+    metrics = run_scheme(
+        setup, args.scheme, scenario=args.scenario, seed=args.seed,
+        scaling_model=args.scaling_model,
+        sim_overrides={"fault_plan": plan}, obs=obs,
+    )
+    snap = resilience_snapshot(metrics, plan=plan)
+    payload = json.dumps(snap, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote resilience snapshot to {args.out}")
+    if args.json:
+        print(payload)
+    else:
+        good = snap["goodput"]
+        print(f"[{args.scheme} under plan {plan.name!r} "
+              f"(seed {plan.seed})]")
+        print(f"  goodput  {good['goodput_fraction']:.4f}   "
+              f"useful {good['useful_gpu_hours']:,.1f} GPUh   "
+              f"wasted {good['wasted_gpu_hours']:,.1f} GPUh")
+        lost = snap["lost_gpu_hours_by_cause"]
+        if lost:
+            print("  lost GPU-hours by cause: "
+                  + "   ".join(f"{c} {h:,.1f}" for c, h in sorted(lost.items())))
+        by_cause = snap["preemptions_by_cause"]
+        print(f"  events   node failures {snap['node_failures']}   "
+              f"no-ops {snap['node_failure_noops']}   preemptions "
+              + (", ".join(f"{c}={n}" for c, n in sorted(by_cause.items()))
+                 or "0"))
+        ttr = snap["time_to_restart_s"]
+        if ttr["count"]:
+            print(f"  recover  restarts {ttr['count']}   "
+                  f"mean {ttr['mean']:,.1f} s   p95 {ttr['p95']:,.1f} s")
+        launch = snap["launch"]
+        if launch["retries"] or launch["failures"]:
+            print(f"  launch   retries {launch['retries']}   "
+                  f"exhausted {launch['failures']}")
+        if snap["degraded_ticks"]:
+            print(f"  loaning  degraded ticks {snap['degraded_ticks']}")
+        jct = snap["jct"]
+        print(f"  jct      mean {jct['mean']:>10,.1f} s   "
+              f"p95 {jct['p95']:>10,.1f}   completed {snap['completed']:.3f}"
+              f"   audits {snap['audits']}")
+    if obs is not None:
+        records = obs.export_trace(args.trace, format=args.trace_format)
+        print(f"wrote {records} trace records to {args.trace}")
     return 0
 
 
@@ -287,7 +420,38 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["jsonl", "chrome"],
                        help="event-trace format: JSON lines, or Chrome "
                             "trace_event for about://tracing / Perfetto")
+    run_p.add_argument("--faults", default=None, metavar="PLAN",
+                       help="fault plan: a builtin name (see `repro chaos "
+                            "--list-plans`) or a YAML/JSON plan file")
+    _add_fault_args(run_p)
     run_p.set_defaults(func=cmd_run)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run one scheme under a fault plan, report resilience metrics",
+    )
+    _add_setup_args(chaos_p)
+    chaos_p.add_argument("--plan", default="chaos", metavar="PLAN",
+                         help="builtin plan name or YAML/JSON plan file "
+                              "(default: chaos)")
+    chaos_p.add_argument("--list-plans", action="store_true",
+                         help="list builtin fault plans and exit")
+    chaos_p.add_argument("--scheme", default="lyra",
+                         choices=sorted(SCHEMES))
+    chaos_p.add_argument("--scenario", default="basic", choices=SCENARIOS)
+    chaos_p.add_argument("--scaling-model", default="linear",
+                         choices=["linear", "sublinear20"])
+    chaos_p.add_argument("--failure-seed", type=int, default=None,
+                         help="override the plan's fault-injection seed")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="print the resilience snapshot as JSON "
+                              "(byte-stable for identical seeds)")
+    chaos_p.add_argument("--out", help="also write the snapshot JSON here")
+    chaos_p.add_argument("--trace",
+                         help="export a structured event trace to this path")
+    chaos_p.add_argument("--trace-format", default="jsonl",
+                         choices=["jsonl", "chrome"])
+    chaos_p.set_defaults(func=cmd_chaos)
 
     cmp_p = sub.add_parser("compare", help="run several schemes")
     _add_setup_args(cmp_p)

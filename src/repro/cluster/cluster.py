@@ -9,7 +9,7 @@ cluster together and implements the loan/return primitive.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.cluster.gpu import GPUType, T4, V100
 from repro.cluster.server import Server
@@ -157,11 +157,17 @@ class ClusterPair:
         """Idle inference servers eligible for loaning."""
         return [s for s in self.inference.servers if s.idle]
 
-    def loan(self, count: int) -> List[Server]:
+    def loan(
+        self,
+        count: int,
+        eligible: Optional[Callable[[Server], bool]] = None,
+    ) -> List[Server]:
         """Loan up to ``count`` idle inference servers to training.
 
         Returns the servers actually moved (possibly fewer than asked if
-        the inference cluster lacks idle machines).
+        the inference cluster lacks idle machines).  ``eligible`` is an
+        optional extra filter — the resource manager uses it to keep
+        unhealthy servers out of the loan pool.
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
@@ -169,6 +175,8 @@ class ClusterPair:
         for server in self.loanable_servers():
             if len(moved) >= count:
                 break
+            if eligible is not None and not eligible(server):
+                continue
             self.inference.remove_server(server.server_id)
             server.on_loan = True
             self.training.add_server(server)

@@ -152,6 +152,9 @@ class Job:
         self.hetero_penalty: float = 1.0
         #: goodput bonus from hyperparameter tuning (Lyra+TunedJobs, §7.4)
         self.tuning_bonus: float = 1.0
+        #: synchronous training runs at the pace of its slowest worker:
+        #: fault injection lowers this while any host server straggles
+        self.straggler_penalty: float = 1.0
         #: GPU-seconds delivered by on-loan servers, for Table 7 accounting
         self.onloan_work: float = 0.0
         #: running-time estimate error injected for the Table 9 study
@@ -301,6 +304,7 @@ class Job:
             * self._parallel_efficiency(workers)
             * self.hetero_penalty
             * self.tuning_bonus
+            * self.straggler_penalty
         )
 
     def onloan_throughput_fraction(self) -> float:
@@ -351,6 +355,7 @@ class Job:
             * self._parallel_efficiency(workers)
             * self.hetero_penalty
             * self.tuning_bonus
+            * self.straggler_penalty
         )
         return self.remaining_work / rate if rate > 0 else math.inf
 
@@ -380,6 +385,9 @@ class Job:
         self.advance(now)
         self.status = JobStatus.PENDING
         self.clear_placement()
+        # the next placement lands on different servers; any straggler
+        # drag from the old hosts ends here
+        self.straggler_penalty = 1.0
         self.preemptions += 1
         if not self.spec.checkpointing:
             self.remaining_work = self.spec.total_work

@@ -43,6 +43,9 @@ class Server:
     home_cluster: str = "training"
     on_loan: bool = False
     group: Optional[str] = None
+    #: relative throughput of workers hosted here (1.0 = nominal; fault
+    #: injection lowers it while the server straggles)
+    perf_factor: float = 1.0
     #: GPUs occupied per job id
     allocations: Dict[int, int] = field(default_factory=dict)
 

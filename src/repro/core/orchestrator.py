@@ -33,6 +33,15 @@ RECLAIMERS = ("lyra", "random", "scf")
 logger = get_logger("orchestrator")
 
 
+class PredictorUnavailable(RuntimeError):
+    """The usage predictor cannot produce a forecast right now.
+
+    Raised by (possibly fault-wrapped) predictors; the orchestrator
+    reacts by degrading to a reactive safety-margin policy instead of
+    crashing the loaning loop.
+    """
+
+
 class ResourceOrchestrator:
     """Moves whole servers between the inference and training whitelists.
 
@@ -67,25 +76,61 @@ class ResourceOrchestrator:
         self._history: list = []
         self._target_history: list = []
         self._surplus_ticks = 0
+        #: fault-injection hook: ``predictor_down(now)`` -> True forces
+        #: the degraded (reactive safety-margin) posture for this tick
+        self.predictor_down: Optional[Callable[[float], bool]] = None
+        #: extra headroom held while the predictor is unavailable —
+        #: without a forecast, spikes cannot be seen coming
+        self.degraded_headroom: float = 0.15
+        #: most conservative degraded posture: reclaim only, no new loans
+        self.freeze_loans_when_degraded: bool = False
+        self._degraded_tick = False
 
     # ------------------------------------------------------------------
     def target_loanable(self, sim: "Simulation") -> int:
-        """Servers the inference side can have on loan right now."""
+        """Servers the inference side can have on loan right now.
+
+        While the predictor is unavailable (it raises
+        :class:`PredictorUnavailable`, or the fault-injection
+        ``predictor_down`` hook says so) the orchestrator degrades
+        gracefully: it stops forecasting and instead holds
+        ``degraded_headroom`` extra reactive slack, since a spike can no
+        longer be seen coming.
+        """
         trace = sim.inference_trace
         if trace is None:
             return 0
         target = trace.loanable_at(sim.now, headroom=self.headroom)
         self._history.append(trace.utilization_at(sim.now))
-        if self.predictor is not None and len(self._history) >= self.window:
-            predicted_util = float(
-                self.predictor(self._history[-self.window:])
+        self._degraded_tick = (
+            self.predictor_down is not None and self.predictor_down(sim.now)
+        )
+        if (
+            not self._degraded_tick
+            and self.predictor is not None
+            and len(self._history) >= self.window
+        ):
+            try:
+                predicted_util = float(
+                    self.predictor(self._history[-self.window:])
+                )
+            except PredictorUnavailable:
+                self._degraded_tick = True
+            else:
+                reserved = math.ceil(
+                    (min(1.0, max(0.0, predicted_util)) + self.headroom)
+                    * trace.num_servers
+                )
+                predicted_target = max(0, trace.num_servers - reserved)
+                target = min(target, predicted_target)
+        if self._degraded_tick:
+            safety = min(0.99, self.headroom + self.degraded_headroom)
+            target = trace.loanable_at(sim.now, headroom=safety)
+            sim.metrics.registry.counter("resilience.degraded_ticks").inc()
+            sim.trace(
+                "recovery.predictor_degraded", headroom=safety,
+                freeze_loans=self.freeze_loans_when_degraded,
             )
-            reserved = math.ceil(
-                (min(1.0, max(0.0, predicted_util)) + self.headroom)
-                * trace.num_servers
-            )
-            predicted_target = max(0, trace.num_servers - reserved)
-            target = min(target, predicted_target)
         return target
 
     def training_need_servers(self, sim: "Simulation", supply: int = 10**9) -> int:
@@ -177,6 +222,8 @@ class ResourceOrchestrator:
         current = sim.pair.loaned_count
         if target > current:
             self._surplus_ticks = 0
+            if self._degraded_tick and self.freeze_loans_when_degraded:
+                return  # degraded posture: reclaim only, no new loans
             moved = sim.rm.loan_servers(target - current, now=sim.now)
             if moved:
                 server_ids = [s.server_id for s in moved]
@@ -202,8 +249,40 @@ class ResourceOrchestrator:
             self._surplus_ticks = 0
 
     # ------------------------------------------------------------------
+    def _route_around(self, sim: "Simulation", demand: int) -> list:
+        """Return unhealthy/straggling on-loan servers ahead of the plan.
+
+        Bad hardware is the cheapest thing to give back: a failed server
+        hosts nothing (its containers died with it) and a straggler is
+        dragging its jobs down anyway.  Vacant ones are returned
+        immediately; whatever demand remains is planned over the healthy
+        candidates.  With no faults injected this scans and returns
+        nothing.
+        """
+        returned = []
+        for server in list(sim.pair.training.on_loan_servers):
+            if len(returned) >= demand:
+                break
+            server_id = server.server_id
+            unhealthy = not sim.rm.is_healthy(server_id)
+            straggling = server.perf_factor < 1.0
+            if not (unhealthy or straggling):
+                continue
+            if sim.rm.containers_on(server_id):
+                continue  # still hosts workers; leave it to the planner
+            sim.rm.return_server(server_id, now=sim.now)
+            returned.append(server_id)
+            sim.trace(
+                "recovery.reclaim_route_around", server_id=server_id,
+                unhealthy=unhealthy, straggling=straggling,
+            )
+        return returned
+
     def _plan(self, sim: "Simulation", demand: int) -> ReclaimPlan:
-        candidates = sim.pair.training.on_loan_servers
+        candidates = [
+            s for s in sim.pair.training.on_loan_servers
+            if sim.rm.is_healthy(s.server_id)
+        ]
         if self.reclaimer == "random":
             return plan_reclaim_random(candidates, sim.jobs, demand, rng=self.rng)
         if self.reclaimer == "scf":
@@ -214,6 +293,14 @@ class ResourceOrchestrator:
 
     def _reclaim(self, sim: "Simulation", demand: int,
                  record_metrics: bool = True) -> None:
+        routed = self._route_around(sim, demand)
+        if routed:
+            if record_metrics:
+                sim.metrics.reclaim_ops.append(len(routed))
+            sim.trigger_schedule()
+            demand -= len(routed)
+            if demand <= 0:
+                return
         with sim.phase(PHASE_RECLAIM_PLAN):
             plan = self._plan(sim, demand)
         if not plan.servers:

@@ -31,6 +31,8 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job
 from repro.cluster.server import BASE_GROUP, FLEX_GROUP, Server
 
+from repro.rm.manager import TransientLaunchError
+
 try:  # typing-only; avoids a hard dependency cycle
     from repro.rm.manager import ResourceManager
 except ImportError:  # pragma: no cover
@@ -167,10 +169,13 @@ class PlacementEngine:
             servers.append(server)
         # Best fit: fewest free GPUs first within a preference tier, and
         # prefer partially-used servers over empty ones to curb
-        # fragmentation.
+        # fragmentation.  Within a tier, full-speed servers beat known
+        # stragglers (perf_factor is 1.0 everywhere absent faults, so
+        # the extra key component is inert then).
         servers.sort(
             key=lambda s: (
                 self._preference(job, s, flexible),
+                -s.perf_factor,
                 s.idle,
                 s.free_gpus,
                 s.server_id,
@@ -192,10 +197,15 @@ class PlacementEngine:
                 if fit <= 0:
                     continue
                 if self.rm is not None:
-                    self.rm.launch(
-                        job, server, fit, cost, flexible=flexible,
-                        now=self.now,
-                    )
+                    try:
+                        self.rm.launch(
+                            job, server, fit, cost, flexible=flexible,
+                            now=self.now,
+                        )
+                    except TransientLaunchError:
+                        # launch retries exhausted on this server; books
+                        # are untouched — move on to the next candidate
+                        continue
                 else:
                     server.allocate(job.job_id, fit * cost)
                     job.record_placement(

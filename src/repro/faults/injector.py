@@ -1,0 +1,258 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a simulation.
+
+The injector is installed by :meth:`Simulation.run` right before the
+event loop starts — and only when the plan actually injects something,
+so fault-free runs never touch this module.  Everything stochastic draws
+from sub-RNGs derived from the plan seed (one stream per fault family),
+which keeps a seeded chaos run bit-reproducible and keeps fault draws
+from perturbing each other.
+
+After every fault event the injector runs a full invariant audit
+(:mod:`repro.faults.audit`): ledger bugs should be caught at the event
+that introduced them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.faults.audit import audit_simulation
+from repro.faults.plan import FaultPlan, Straggler
+from repro.rm.manager import TransientLaunchError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.simulation import Simulation
+
+
+def _window(at: float, duration: float) -> Tuple[float, float]:
+    return (at, at + duration)
+
+
+def _in_any(now: float, windows: List[Tuple[float, float]]) -> bool:
+    return any(a <= now < b for a, b in windows)
+
+
+class FaultInjector:
+    """Schedules a plan's fault events into a simulation's engine."""
+
+    def __init__(self, plan: FaultPlan, sim: "Simulation"):
+        self.plan = plan
+        self.sim = sim
+        # one RNG stream per fault family: adding faults of one kind
+        # never perturbs the draws of another
+        self._rng_process = random.Random(f"{plan.seed}:process")
+        self._rng_target = random.Random(f"{plan.seed}:target")
+        self._rng_launch = random.Random(f"{plan.seed}:launch")
+        self.audits = 0
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Wire every fault family of the plan into the simulation."""
+        sim, plan = self.sim, self.plan
+        if plan.flash_crowds and sim.inference_trace is not None:
+            # pure overlay: the orchestrator and usage sampler read the
+            # spiked trace for the whole run
+            sim.inference_trace = sim.inference_trace.with_spikes(
+                [(f.at, f.duration, f.magnitude) for f in plan.flash_crowds]
+            )
+            for crowd in plan.flash_crowds:
+                sim.engine.schedule(
+                    crowd.at,
+                    lambda c=crowd: self._flash_crowd_marker(c),
+                )
+        if plan.process is not None:
+            self._arm_process()
+        for outage in plan.outages:
+            sim.engine.schedule(
+                outage.at, lambda o=outage: self._outage(o)
+            )
+        for straggler in plan.stragglers:
+            sim.engine.schedule(
+                straggler.at, lambda s=straggler: self._straggler_start(s)
+            )
+        if plan.predictor_outages or plan.predictor_biases:
+            self._install_predictor_faults()
+        if plan.launch_failures is not None:
+            self._install_launch_gate()
+
+    # ------------------------------------------------------------------
+    # node failures
+    # ------------------------------------------------------------------
+    def _healthy_server_ids(self) -> List[str]:
+        return [
+            s.server_id
+            for s in self.sim.cluster.servers
+            if self.sim.rm.is_healthy(s.server_id)
+        ]
+
+    def _choose_block(self, k: int) -> List[str]:
+        """A contiguous block of ``k`` healthy servers in whitelist order.
+
+        Whitelist order is insertion order, so adjacency approximates
+        rack co-location; correlated failures take down neighbours.
+        """
+        healthy = self._healthy_server_ids()
+        if not healthy:
+            return []
+        if len(healthy) <= k:
+            return healthy
+        anchor = self._rng_target.randrange(len(healthy))
+        start = min(anchor, len(healthy) - k)
+        return healthy[start:start + k]
+
+    def _fail_block(self, count: int, repair_time: float, kind: str) -> None:
+        block = self._choose_block(count)
+        if not block:
+            # nothing healthy left to kill: recorded, never silent
+            self.sim.record_failure_noop("no_healthy_servers")
+        for server_id in block:
+            self.sim.apply_node_failure(server_id, repair_time)
+        self._audit(kind)
+
+    def _process_fire(self) -> None:
+        process = self.plan.process
+        self._fail_block(process.correlated, process.repair_time, "process")
+        self._arm_process()
+
+    def _arm_process(self) -> None:
+        sim = self.sim
+        if sim.drained:
+            return
+        delay = self._rng_process.expovariate(1.0 / self.plan.process.mtbf)
+        sim.engine.schedule_after(delay, self._process_fire)
+
+    def _outage(self, outage) -> None:
+        self.sim.trace(
+            "fault.outage", servers=outage.servers,
+            repair_time=outage.repair_time,
+        )
+        self._fail_block(outage.servers, outage.repair_time, "outage")
+
+    # ------------------------------------------------------------------
+    # stragglers
+    # ------------------------------------------------------------------
+    def _straggler_start(self, straggler: Straggler) -> None:
+        block = self._choose_block(straggler.servers)
+        if not block:
+            self.sim.record_failure_noop("no_healthy_servers")
+            return
+        for server_id in block:
+            self.sim.set_server_degradation(server_id, straggler.factor)
+        self.sim.trace(
+            "fault.straggler_start", servers=block, factor=straggler.factor,
+            duration=straggler.duration,
+        )
+        self.sim.metrics.registry.counter("resilience.stragglers").inc(
+            len(block)
+        )
+        self.sim.engine.schedule_after(
+            straggler.duration, lambda: self._straggler_end(block)
+        )
+        self._audit("straggler")
+
+    def _straggler_end(self, block: List[str]) -> None:
+        for server_id in block:
+            self.sim.set_server_degradation(server_id, None)
+        self.sim.trace("fault.straggler_end", servers=block)
+        self._audit("straggler")
+
+    # ------------------------------------------------------------------
+    # flash crowds
+    # ------------------------------------------------------------------
+    def _flash_crowd_marker(self, crowd) -> None:
+        """The overlay is baked into the trace; this event just marks the
+        spike's onset in the event trace and audits the reclaim storm."""
+        self.sim.trace(
+            "fault.flash_crowd", magnitude=crowd.magnitude,
+            duration=crowd.duration,
+        )
+        self.sim.metrics.registry.counter("resilience.flash_crowds").inc()
+
+    # ------------------------------------------------------------------
+    # predictor faults
+    # ------------------------------------------------------------------
+    def _install_predictor_faults(self) -> None:
+        sim = self.sim
+        orchestrator = sim.orchestrator
+        if orchestrator is None:
+            return
+        outages = [
+            _window(o.at, o.duration) for o in self.plan.predictor_outages
+        ]
+        if outages:
+            orchestrator.predictor_down = (
+                lambda now, _w=outages: _in_any(now, _w)
+            )
+            orchestrator.degraded_headroom = self.plan.degraded.headroom
+            orchestrator.freeze_loans_when_degraded = (
+                self.plan.degraded.freeze_loans
+            )
+        biases = [
+            (b.at, b.at + b.duration, b.factor)
+            for b in self.plan.predictor_biases
+        ]
+        if biases and orchestrator.predictor is not None:
+            orig = orchestrator.predictor
+
+            def biased(history):
+                value = float(orig(history))
+                now = sim.now
+                for start, end, factor in biases:
+                    if start <= now < end:
+                        sim.metrics.registry.counter(
+                            "resilience.predictor_biased_ticks"
+                        ).inc()
+                        return value * factor
+                return value
+
+            orchestrator.predictor = biased
+
+    # ------------------------------------------------------------------
+    # transient launch failures
+    # ------------------------------------------------------------------
+    def _install_launch_gate(self) -> None:
+        sim = self.sim
+        failures = self.plan.launch_failures
+        retry = self.plan.retry
+        rng = self._rng_launch
+        registry = sim.metrics.registry
+
+        def gate(job, server, workers) -> None:
+            if failures.until is not None and sim.now >= failures.until:
+                return
+            for attempt in range(retry.max_attempts):
+                if rng.random() >= failures.probability:
+                    if attempt:
+                        backoff = sum(
+                            retry.delay(i, rng) for i in range(attempt)
+                        )
+                        registry.counter("resilience.launch_retries").inc(
+                            attempt
+                        )
+                        registry.histogram(
+                            "resilience.launch_backoff_s"
+                        ).observe(backoff)
+                        sim.trace(
+                            "recovery.launch_retried", job_id=job.job_id,
+                            server_id=server.server_id,
+                            attempts=attempt + 1,
+                            backoff_s=round(backoff, 3),
+                        )
+                    return
+            registry.counter("resilience.launch_failures").inc()
+            sim.trace(
+                "fault.launch_failed", job_id=job.job_id,
+                server_id=server.server_id, attempts=retry.max_attempts,
+            )
+            raise TransientLaunchError(
+                f"launch of job {job.job_id} on {server.server_id} failed "
+                f"{retry.max_attempts} attempts"
+            )
+
+        sim.rm.launch_gate = gate
+
+    # ------------------------------------------------------------------
+    def _audit(self, cause: str) -> None:
+        audit_simulation(self.sim, cause)
+        self.audits += 1

@@ -1,0 +1,127 @@
+"""Resilience metrics: what a chaos run reports.
+
+Raw throughput says how fast GPUs burned; *goodput* says how much of
+that burn survived to completion.  This module aggregates the fault and
+recovery instruments the simulator records into one JSON-friendly
+snapshot:
+
+* goodput fraction — useful GPU-hours over useful + wasted GPU-hours,
+  where waste is progress destroyed by preemption (non-checkpointing
+  restarts) plus checkpoint/restart overhead;
+* lost GPU-hours by preemption cause (``reclaim`` vs ``node_failure``
+  vs ``scheduler``);
+* preemptions by cause;
+* time-to-recover — queue delay between a preemption and the job's next
+  start, and per-node downtime;
+* launch-retry and degraded-loaning activity.
+
+The snapshot is plain dicts of numbers: ``json.dumps(snapshot,
+sort_keys=True)`` is byte-stable across identically-seeded runs, which
+is exactly what the CI determinism guard compares.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.simulator.metrics import SimulationMetrics
+
+HOUR = 3600.0
+
+
+def _hist_summary(hist) -> Dict[str, float]:
+    if not hist.count:
+        return {"count": 0}
+    return {
+        "count": hist.count,
+        "mean": hist.mean(),
+        "p50": hist.percentile(50),
+        "p95": hist.percentile(95),
+        "sum": hist.sum,
+    }
+
+
+def resilience_snapshot(
+    metrics: SimulationMetrics,
+    plan: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Aggregate one finished run's resilience numbers.
+
+    Args:
+        metrics: The run's :class:`SimulationMetrics`.
+        plan: The :class:`~repro.faults.plan.FaultPlan` that was
+            injected, echoed into the snapshot for provenance.
+    """
+    registry = metrics.registry
+
+    useful_hours = sum(
+        j.spec.total_work for j in metrics.jobs if j.jct is not None
+    ) / HOUR
+    lost_by_cause = {
+        labels.get("cause", "unknown"): hist.sum
+        for labels, hist in registry.histogram_items(
+            "resilience.lost_gpu_hours"
+        )
+        if hist.count
+    }
+    wasted_hours = sum(lost_by_cause.values())
+    denominator = useful_hours + wasted_hours
+    goodput_fraction = useful_hours / denominator if denominator else 1.0
+
+    preemptions_by_cause = {
+        labels.get("cause", "unknown"): counter.value
+        for labels, counter in registry.counter_items(
+            "sim.preemptions_by_cause"
+        )
+    }
+    audits = sum(
+        counter.value
+        for _, counter in registry.counter_items("resilience.audits")
+    )
+    noops = sum(
+        counter.value
+        for _, counter in registry.counter_items(
+            "resilience.node_failure_noop"
+        )
+    )
+
+    jct = metrics.jct_summary()
+    snapshot: Dict[str, Any] = {
+        "goodput": {
+            "useful_gpu_hours": round(useful_hours, 6),
+            "wasted_gpu_hours": round(wasted_hours, 6),
+            "goodput_fraction": round(goodput_fraction, 6),
+        },
+        "lost_gpu_hours_by_cause": {
+            cause: round(hours, 6) for cause, hours in lost_by_cause.items()
+        },
+        "preemptions_by_cause": preemptions_by_cause,
+        "preemptions": metrics.preemptions,
+        "node_failures": metrics.node_failures,
+        "node_failure_noops": noops,
+        "time_to_restart_s": _hist_summary(
+            registry.histogram("resilience.time_to_restart_s")
+        ),
+        "node_downtime_s": _hist_summary(
+            registry.histogram("resilience.node_downtime_s")
+        ),
+        "launch": {
+            "retries": registry.counter("resilience.launch_retries").value,
+            "failures": registry.counter("resilience.launch_failures").value,
+            "backoff_s": _hist_summary(
+                registry.histogram("resilience.launch_backoff_s")
+            ),
+        },
+        "degraded_ticks": registry.counter("resilience.degraded_ticks").value,
+        "audits": audits,
+        "jct": {
+            "mean": jct.mean,
+            "median": jct.median,
+            "p95": jct.p95,
+            "count": jct.count,
+        },
+        "completed": metrics.completion_ratio(),
+    }
+    if plan is not None:
+        snapshot["plan"] = plan.to_dict()
+    return snapshot

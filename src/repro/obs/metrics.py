@@ -129,6 +129,28 @@ class MetricsRegistry:
         return inst
 
     # ------------------------------------------------------------------
+    def counter_items(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Counter]]:
+        """All counters of one family as ``(labels, instrument)`` pairs,
+        sorted by label set (e.g. every ``sim.preemptions_by_cause``)."""
+        return [
+            (dict(key), counter)
+            for (n, key), counter in sorted(self._counters.items())
+            if n == name
+        ]
+
+    def histogram_items(
+        self, name: str
+    ) -> List[Tuple[Dict[str, str], Histogram]]:
+        """All histograms of one family as ``(labels, instrument)`` pairs."""
+        return [
+            (dict(key), hist)
+            for (n, key), hist in sorted(self._histograms.items())
+            if n == name
+        ]
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _fullname(name: str, key: LabelKey) -> str:
         if not key:

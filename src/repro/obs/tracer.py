@@ -33,6 +33,8 @@ CAT_ORCHESTRATOR = "orchestrator"
 CAT_CLUSTER = "cluster"
 CAT_ELASTIC = "elastic"
 CAT_META = "meta"
+CAT_FAULT = "fault"
+CAT_RECOVERY = "recovery"
 
 #: The reserved name of the trailing aggregate record in JSONL exports.
 SUMMARY_EVENT = "trace.summary"

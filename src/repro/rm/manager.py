@@ -21,12 +21,22 @@ that execution layer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterPair
 from repro.cluster.job import Job
 from repro.cluster.server import Server
 from repro.rm.containers import Container
+
+
+class TransientLaunchError(RuntimeError):
+    """A container launch failed transiently and exhausted its retries.
+
+    Raised by the launch gate (fault injection) before any books are
+    mutated; the placement engine reacts by trying the next candidate
+    server, so the failure costs a placement opportunity, not ledger
+    consistency.
+    """
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,9 @@ class ResourceManager:
         self._by_server: Dict[str, List[int]] = {}
         self._unhealthy: Set[str] = set()
         self.audit: List[AuditRecord] = []
+        #: fault-injection hook: called after validation but before any
+        #: mutation on each launch; may raise :class:`TransientLaunchError`
+        self.launch_gate: Optional[Callable[[Job, Server, int], None]] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -108,7 +121,9 @@ class ResourceManager:
 
         Reserves the GPUs and records the placement on the job; raises
         ``ValueError`` (and launches nothing) if capacity is missing or
-        the node is unhealthy.
+        the node is unhealthy, and :class:`TransientLaunchError` (also
+        launching nothing) when the fault-injection launch gate exhausts
+        its retries.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -120,6 +135,8 @@ class ResourceManager:
                 f"server {server.server_id}: need {total} GPUs, "
                 f"{server.free_gpus} free"
             )
+        if self.launch_gate is not None:
+            self.launch_gate(job, server, workers)
         server.allocate(job.job_id, total)
         job.record_placement(
             server.server_id,
@@ -201,7 +218,11 @@ class ResourceManager:
     # whitelist API (§6)
     # ------------------------------------------------------------------
     def loan_servers(self, count: int, now: float = 0.0) -> List[Server]:
-        moved = self.pair.loan(count)
+        # never loan a server that is known-unhealthy (e.g. it failed
+        # while on loan and was routed back before its repair finished)
+        moved = self.pair.loan(
+            count, eligible=lambda s: self.is_healthy(s.server_id)
+        )
         if moved:
             self.audit.append(
                 AuditRecord(now, "loan", tuple(s.server_id for s in moved))

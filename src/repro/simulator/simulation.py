@@ -27,8 +27,6 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set
 
-import random as _random
-
 from repro.cluster.cluster import Cluster, ClusterPair
 from repro.cluster.job import Job, JobSpec, JobStatus
 from repro.elastic.throughput import get_scaling_model
@@ -104,6 +102,10 @@ class SimulationConfig:
     #: time a failed node spends unhealthy before rejoining
     node_repair_time: float = 3600.0
     failure_seed: int = 0
+    #: full chaos specification (:class:`repro.faults.plan.FaultPlan`);
+    #: supersedes the legacy ``node_mtbf`` knobs when set.  Typed loosely
+    #: so fault-free simulations never import :mod:`repro.faults`.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.scheduler_interval <= 0:
@@ -146,6 +148,14 @@ class Simulation:
         self.jobs: Dict[int, Job] = {}
         self.pending: List[Job] = []
         self.running: Dict[int, Job] = {}
+        #: straggling servers: ``{server_id: throughput factor}``; empty
+        #: in fault-free runs, in which case every guard below is inert
+        self.degraded_servers: Dict[str, float] = {}
+        #: the installed :class:`~repro.faults.injector.FaultInjector`,
+        #: when a fault plan is active
+        self.fault_injector = None
+        self._fail_times: Dict[str, float] = {}
+        self._preempt_times: Dict[int, float] = {}
         self._completion_epoch: Dict[int, int] = {}
         self._tick_pending = False
         self._last_tick = -math.inf
@@ -229,16 +239,48 @@ class Simulation:
         self.engine.schedule(0.0, self._heartbeat)
         if self.orchestrator is not None:
             self.engine.schedule(0.0, self._orchestrator_tick)
-        if self.config.node_mtbf:
-            self._failure_rng = _random.Random(self.config.failure_seed)
-            self.engine.schedule_after(
-                self._failure_rng.expovariate(1.0 / self.config.node_mtbf),
-                self._node_failure,
+        plan = self._resolve_fault_plan()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "run.config", ts=0.0,
+                node_mtbf=self.config.node_mtbf,
+                node_repair_time=self.config.node_repair_time,
+                failure_seed=self.config.failure_seed,
+                fault_plan=plan.to_dict() if plan is not None else None,
+                scheduler_interval=self.config.scheduler_interval,
+                orchestrator_interval=self.config.orchestrator_interval,
+                elastic=self.config.elastic,
+                scaling_model=self.config.scaling_model,
             )
+        if plan is not None:
+            # lazy import: fault-free runs never load repro.faults
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(plan, self)
+            self.fault_injector.install()
         deadline = self._last_arrival + self.config.drain_limit
         self.engine.run(until=deadline)
         self._finalize_hourly_ratio()
         return self.metrics
+
+    def _resolve_fault_plan(self):
+        """The effective fault plan: explicit plan, legacy knobs, or None.
+
+        Returns None (not an empty plan) when nothing is injected, so
+        the zero-cost path skips the injector entirely.
+        """
+        plan = self.config.fault_plan
+        if plan is not None:
+            return None if plan.is_empty() else plan
+        if self.config.node_mtbf:
+            from repro.faults.plan import FaultPlan
+
+            return FaultPlan.from_legacy(
+                self.config.node_mtbf,
+                repair_time=self.config.node_repair_time,
+                seed=self.config.failure_seed,
+            )
+        return None
 
     def _heartbeat(self) -> None:
         """Periodic scheduling epochs (§3: the job scheduler runs
@@ -385,6 +427,14 @@ class Simulation:
         self.pending.remove(job)
         job.mark_started(self.now)
         self._apply_tuning(job)
+        if self.degraded_servers:
+            job.straggler_penalty = self._straggler_penalty_for(job)
+        restart_of = self._preempt_times.pop(job.job_id, None)
+        if restart_of is not None:
+            # time-to-recover: how long a preempted job waited to run again
+            self.metrics.registry.histogram(
+                "resilience.time_to_restart_s"
+            ).observe(self.now - restart_of)
         self.running[job.job_id] = job
         self.log(
             EventKind.START, job.job_id, detail=job.total_workers,
@@ -397,6 +447,8 @@ class Simulation:
         """Account a scale operation on a running job and re-time it."""
         job.advance(self.now)
         self._apply_tuning(job)
+        if self.degraded_servers:
+            job.straggler_penalty = self._straggler_penalty_for(job)
         job.scale_ops += 1
         self.metrics.scale_ops += 1
         kind = EventKind.SCALE_OUT if scaled_out else EventKind.SCALE_IN
@@ -452,6 +504,21 @@ class Simulation:
             raise RuntimeError(f"job {job.job_id} is not running")
         job.advance(self.now)  # bank progress before containers die
         workers = job.total_workers
+        # resilience accounting: GPU-seconds this preemption destroys —
+        # all banked progress unless checkpointing, plus the §7.5
+        # checkpoint/restart overhead either way
+        lost_work = self.config.preemption_overhead * (
+            job.spec.max_workers * job.spec.gpus_per_worker
+        )
+        if not job.spec.checkpointing:
+            lost_work += job.spec.total_work - job.remaining_work
+        self.metrics.registry.histogram(
+            "resilience.lost_gpu_hours", cause=cause
+        ).observe(lost_work / 3600.0)
+        self.metrics.registry.counter(
+            "sim.preemptions_by_cause", cause=cause
+        ).inc()
+        self._preempt_times[job.job_id] = self.now
         self.rm.release_job(job, now=self.now)
         job.mark_preempted(self.now, overhead=self.config.preemption_overhead)
         del self.running[job.job_id]
@@ -473,75 +540,136 @@ class Simulation:
         self.rescale(job, scaled_out=False)
 
     # ------------------------------------------------------------------
-    # failure injection
+    # failure injection (driven by repro.faults.injector.FaultInjector)
     # ------------------------------------------------------------------
-    def _node_failure(self) -> None:
-        """Kill a random healthy training-whitelist server (§6 monitors
-        server status; the paper's clusters see real node failures)."""
-        healthy = [
-            s for s in self.cluster.servers if self.rm.is_healthy(s.server_id)
-        ]
-        if healthy and (self.pending or self.running
-                        or self.now < self._last_arrival):
-            server = self._failure_rng.choice(healthy)
-            report = self.rm.fail_node(server.server_id, now=self.now)
-            self.metrics.node_failures += 1
-            self.trace(
-                "cluster.node_failure", server_id=server.server_id,
-                jobs_lost_base=sorted(report.jobs_lost_base),
-                jobs_lost_flex=sorted(report.jobs_lost_flex),
-            )
-            logger.info("node %s failed at %.0f (%d base jobs lost)",
-                        server.server_id, self.now,
-                        len(report.jobs_lost_base))
-            # jobs that lost base workers restart from the queue
-            for job_id in report.jobs_lost_base:
-                job = self.jobs[job_id]
-                if job_id in self.running:
-                    job.advance(self.now)
-                    self.rm.release_job(job, now=self.now)
-                    job.mark_preempted(
-                        self.now, overhead=self.config.preemption_overhead
-                    )
-                    del self.running[job_id]
-                    self._completion_epoch[job_id] = (
-                        self._completion_epoch.get(job_id, 0) + 1
-                    )
-                    self.pending.append(job)
-                    self.metrics.preemptions += 1
-                    self.log(EventKind.PREEMPT, job_id,
-                             cause="node_failure", workers=0)
-            # jobs that only lost flexible workers shrink and continue
-            for job_id, workers in report.jobs_lost_flex.items():
-                job = self.jobs[job_id]
-                if job_id not in self.running:
+    @property
+    def drained(self) -> bool:
+        """True once no work remains and no more arrivals are due."""
+        return (
+            not self.pending
+            and not self.running
+            and self.now >= self._last_arrival
+        )
+
+    def record_failure_noop(
+        self, reason: str, server_id: Optional[str] = None
+    ) -> None:
+        """A fault event landed on nothing; record it, never skip it
+        silently (an outage of an empty rack is still an outage)."""
+        self.metrics.registry.counter(
+            "resilience.node_failure_noop", reason=reason
+        ).inc()
+        self.trace(
+            "fault.node_failure_noop", reason=reason, server_id=server_id
+        )
+        logger.debug("node failure no-op at %.0f (%s, server=%s)",
+                     self.now, reason, server_id)
+
+    def apply_node_failure(
+        self,
+        server_id: str,
+        repair_time: Optional[float] = None,
+        cause: str = "node_failure",
+    ) -> bool:
+        """One server dies (§6 monitors server status; the paper's
+        clusters see real node failures).
+
+        Jobs that lost base workers restart from the queue (gang
+        semantics); jobs that only lost flexible workers shrink and
+        continue.  Returns True when the failure landed; a failure
+        targeting an unknown or already-unhealthy server is a recorded
+        no-op returning False.  ``repair_time`` schedules the matching
+        recovery (None leaves the node down for the rest of the run).
+        """
+        if server_id not in self.cluster and server_id not in self.pair.inference:
+            self.record_failure_noop("unknown_server", server_id)
+            return False
+        if not self.rm.is_healthy(server_id):
+            self.record_failure_noop("already_unhealthy", server_id)
+            return False
+        report = self.rm.fail_node(server_id, now=self.now)
+        self.metrics.node_failures += 1
+        self._fail_times[server_id] = self.now
+        self.trace(
+            "cluster.node_failure", server_id=server_id,
+            jobs_lost_base=sorted(report.jobs_lost_base),
+            jobs_lost_flex=sorted(report.jobs_lost_flex),
+        )
+        logger.info("node %s failed at %.0f (%d base jobs lost)",
+                    server_id, self.now, len(report.jobs_lost_base))
+        # jobs that lost base workers restart from the queue
+        for job_id in sorted(report.jobs_lost_base):
+            if job_id in self.running:
+                self.preempt(self.jobs[job_id], cause=cause)
+        # jobs that only lost flexible workers shrink and continue
+        for job_id in sorted(report.jobs_lost_flex):
+            workers = report.jobs_lost_flex[job_id]
+            job = self.jobs[job_id]
+            if job_id not in self.running:
+                continue
+            job.advance(self.now)  # progress up to the failure instant
+            remaining = workers
+            for sid in list(job.flex_placement):
+                if sid != server_id:
                     continue
-                job.advance(self.now)  # progress up to the failure instant
-                remaining = workers
-                for sid in list(job.flex_placement):
-                    if sid != server.server_id:
-                        continue
-                    have = job.flex_placement[sid]
-                    take = min(have, remaining)
-                    job.flex_placement[sid] = have - take
-                    if job.flex_placement[sid] == 0:
-                        job.remove_flex_on(sid)
-                    remaining -= take
-                self.rescale(job, scaled_out=False)
+                have = job.flex_placement[sid]
+                take = min(have, remaining)
+                job.flex_placement[sid] = have - take
+                if job.flex_placement[sid] == 0:
+                    job.remove_flex_on(sid)
+                remaining -= take
+            self.rescale(job, scaled_out=False)
+        if repair_time is not None:
             self.engine.schedule_after(
-                self.config.node_repair_time,
-                lambda sid=server.server_id: self._node_recovery(sid),
+                repair_time,
+                lambda sid=server_id: self._node_recovery(sid),
             )
-            self.trigger_schedule()
-        if self.pending or self.running or self.now < self._last_arrival:
-            self.engine.schedule_after(
-                self._failure_rng.expovariate(1.0 / self.config.node_mtbf),
-                self._node_failure,
-            )
+        self.trigger_schedule()
+        return True
 
     def _node_recovery(self, server_id: str) -> None:
         self.rm.recover_node(server_id, now=self.now)
+        failed_at = self._fail_times.pop(server_id, None)
+        if failed_at is not None:
+            self.metrics.registry.histogram(
+                "resilience.node_downtime_s"
+            ).observe(self.now - failed_at)
+        self.trace("cluster.node_recovery", server_id=server_id)
         self.trigger_schedule()
+
+    # ------------------------------------------------------------------
+    # straggler degradation (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def set_server_degradation(
+        self, server_id: str, factor: Optional[float] = None
+    ) -> None:
+        """Mark a server as straggling at ``factor`` of nominal
+        throughput (None restores full speed) and re-time every running
+        job it hosts."""
+        server = self.rm._server(server_id)
+        if factor is None:
+            self.degraded_servers.pop(server_id, None)
+            if server is not None:
+                server.perf_factor = 1.0
+        else:
+            self.degraded_servers[server_id] = factor
+            if server is not None:
+                server.perf_factor = factor
+        for job in list(self.running.values()):
+            if server_id in job.servers:
+                job.advance(self.now)
+                job.straggler_penalty = self._straggler_penalty_for(job)
+                self._reschedule_completion(job)
+
+    def _straggler_penalty_for(self, job: Job) -> float:
+        """Synchronous training paces at its slowest worker: the penalty
+        is the worst factor among the job's host servers."""
+        if not self.degraded_servers:
+            return 1.0
+        return min(
+            (self.degraded_servers.get(sid, 1.0) for sid in job.servers),
+            default=1.0,
+        )
 
     # ------------------------------------------------------------------
     # reporting helpers

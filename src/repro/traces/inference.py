@@ -79,6 +79,33 @@ class InferenceTrace:
         trough = float(np.min(self.utilization))
         return float(np.max(self.utilization)) / trough if trough > 0 else math.inf
 
+    def with_spikes(
+        self, spikes: "list[tuple[float, float, float]]"
+    ) -> "InferenceTrace":
+        """A copy of this trace with flash-crowd overlays applied.
+
+        Each spike is ``(at, duration, magnitude)``: utilization rises
+        by ``magnitude`` (clipped to [0, 1]) for every sample covering
+        ``[at, at + duration)``.  The original trace is untouched — the
+        fault injector swaps the overlaid copy into the simulation, so
+        the orchestrator sees the reclaim storm while the spec of the
+        spike stays declarative.
+        """
+        series = self.utilization.copy()
+        for at, duration, magnitude in spikes:
+            lo = max(0, int(at // SAMPLE_INTERVAL))
+            hi = min(
+                len(series),
+                int(math.ceil((at + duration) / SAMPLE_INTERVAL)),
+            )
+            if hi > lo:
+                series[lo:hi] = np.clip(series[lo:hi] + magnitude, 0.0, 1.0)
+        return InferenceTrace(
+            utilization=series,
+            num_servers=self.num_servers,
+            gpu_busy_fraction=self.gpu_busy_fraction,
+        )
+
 
 def generate_inference_trace(
     days: float = 7.0,

@@ -7,6 +7,8 @@ knapsack feasibility, reclaim-plan consistency, and work conservation in
 the simulator.
 """
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -19,6 +21,7 @@ from repro.cluster.job import Job, JobSpec
 from repro.core.allocation import Pools, allocate_two_phase
 from repro.core.placement import PlacementEngine, PlacementRequest
 from repro.core.reclaim import plan_reclaim_lyra
+from repro.rm.manager import ResourceManager
 from repro.schedulers.lyra import LyraScheduler
 from repro.simulator.simulation import Simulation, SimulationConfig
 
@@ -185,6 +188,79 @@ class TestReclaimProperties:
         # every preempted job had base workers on some selected server
         for job_id in plan.preempted_jobs:
             assert set(jobs[job_id].base_placement) & set(plan.servers)
+
+
+# ----------------------------------------------------------------------
+# resource-manager interleavings
+# ----------------------------------------------------------------------
+class TestResourceManagerInterleavings:
+    """Seeded random interleavings of every RM mutation keep the books.
+
+    The ledger invariant (`verify_books`) must hold after *every*
+    operation — including rejected ones, which must leave no partial
+    state behind.  This is the fault-injection substrate's contract:
+    failures and recoveries can land at any point between loans,
+    launches and scale-ins.
+    """
+
+    OPS = ("launch", "scale_in", "release", "loan", "return",
+           "fail", "recover")
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_random_interleavings_keep_books(self, seed):
+        rng = random.Random(seed)
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(3))
+        rm = ResourceManager(pair)
+        jobs = {
+            i: Job(JobSpec(
+                job_id=i, submit_time=0.0, duration=1000.0,
+                max_workers=6, min_workers=1, gpus_per_worker=1,
+                elastic=True, fungible=True,
+            ))
+            for i in range(4)
+        }
+        now = 0.0
+        for _ in range(50):
+            now += 1.0
+            op = rng.choice(self.OPS)
+            job = jobs[rng.randrange(len(jobs))]
+            all_servers = (
+                pair.training.servers + pair.inference.servers
+            )
+            server = rng.choice(all_servers)
+            try:
+                if op == "launch":
+                    rm.launch(
+                        job, server, rng.randint(1, 2), 1,
+                        flexible=rng.random() < 0.5, now=now,
+                    )
+                elif op == "scale_in":
+                    rm.scale_in(job, server.server_id, rng.randint(1, 3),
+                                now=now)
+                elif op == "release":
+                    rm.release_job(job, now=now)
+                elif op == "loan":
+                    rm.loan_servers(rng.randint(1, 2), now=now)
+                elif op == "return":
+                    rm.return_server(server.server_id, now=now)
+                elif op == "fail":
+                    report = rm.fail_node(server.server_id, now=now)
+                    # gang semantics: jobs that lost base workers are
+                    # torn down entirely, like the simulator does
+                    for job_id in report.jobs_lost_base:
+                        rm.release_job(jobs[job_id], now=now)
+                        jobs[job_id].clear_placement()
+                elif op == "recover":
+                    rm.recover_node(server.server_id, now=now)
+            except (ValueError, RuntimeError, KeyError):
+                pass  # invalid op rejected — must be atomic
+            rm.verify_books()
+        # cleanup still balances: releasing every job empties the books
+        for job in jobs.values():
+            rm.release_job(job, now=now)
+        rm.verify_books()
+        assert not rm.running_containers()
 
 
 # ----------------------------------------------------------------------

@@ -234,3 +234,107 @@ class TestFailureInjection:
         sim, metrics = self.run_with_failures(mtbf=2000.0, specs=specs)
         job = sim.jobs[0]
         assert job.status is JobStatus.FINISHED
+
+
+class TestOnLoanFailures:
+    """Regression: node failures hitting loaned servers keep the books
+    clean and attribute preemptions to the right cause."""
+
+    def make_sim(self):
+        # job 0 fills the only training server; job 1 (fungible, 2
+        # workers at the 3x T4 footprint) fits only on a loaned server.
+        pair = ClusterPair(make_training_cluster(1), make_inference_cluster(2))
+        specs = [
+            JobSpec(job_id=0, submit_time=0.0, duration=5000.0,
+                    max_workers=8),
+            JobSpec(job_id=1, submit_time=0.0, duration=5000.0,
+                    max_workers=2, fungible=True),
+        ]
+        return Simulation(specs, pair, LyraScheduler(),
+                          config=SimulationConfig())
+
+    def loaned_busy_server(self, sim):
+        for server in sim.cluster.servers:
+            if server.on_loan and server.allocations:
+                return server
+        return None
+
+    def test_failure_on_loaned_server_books_clean(self):
+        sim = self.make_sim()
+
+        def loan():
+            assert sim.rm.loan_servers(1, now=sim.now)
+            sim.trigger_schedule()
+
+        observed = {}
+
+        def fail():
+            server = self.loaned_busy_server(sim)
+            assert server is not None, "no job landed on the loaned server"
+            observed["victims"] = set(server.allocations)
+            assert sim.apply_node_failure(server.server_id, repair_time=600.0)
+            sim.rm.verify_books()  # clean immediately after the failure
+
+        sim.engine.schedule(10.0, loan)
+        sim.engine.schedule(2000.0, fail)
+        metrics = sim.run()
+
+        assert observed["victims"], "failure hit an empty server"
+        assert metrics.node_failures == 1
+        by_cause = metrics.registry.counter(
+            "sim.preemptions_by_cause", cause="node_failure"
+        )
+        assert by_cause.value == len(observed["victims"])
+        assert all(
+            j.status is JobStatus.FINISHED for j in sim.jobs.values()
+        )
+        sim.rm.verify_books()
+
+    def test_failure_mid_reclaim_books_clean(self):
+        # The orchestrator has vacated a loaned server (reclaim preempts
+        # its job) and the node dies before the whitelist return
+        # completes.  The return must still go through, the dead server
+        # must not be re-loaned while unhealthy, and causes must stay
+        # attributed: the preemption was the reclaim's, not the crash's.
+        sim = self.make_sim()
+
+        def loan():
+            assert sim.rm.loan_servers(1, now=sim.now)
+            sim.trigger_schedule()
+
+        def reclaim_then_fail():
+            server = self.loaned_busy_server(sim)
+            assert server is not None
+            victim = sim.jobs[next(iter(server.allocations))]
+            sim.preempt(victim, cause="reclaim")
+            sim.rm.verify_books()
+            # node dies mid-reclaim, before the whitelist return
+            assert sim.apply_node_failure(server.server_id,
+                                          repair_time=600.0)
+            sim.rm.verify_books()
+            # the return still completes (server is vacated)...
+            returned = sim.rm.return_server(server.server_id, now=sim.now)
+            assert not returned.on_loan
+            # ...and the unhealthy server is never loaned back out
+            reloaned = sim.rm.loan_servers(1, now=sim.now)
+            assert all(
+                s.server_id != server.server_id for s in reloaned
+            )
+            sim.rm.verify_books()
+
+        sim.engine.schedule(10.0, loan)
+        sim.engine.schedule(2000.0, reclaim_then_fail)
+        metrics = sim.run()
+
+        reclaim_count = metrics.registry.counter(
+            "sim.preemptions_by_cause", cause="reclaim"
+        )
+        crash_count = metrics.registry.counter(
+            "sim.preemptions_by_cause", cause="node_failure"
+        )
+        assert reclaim_count.value == 1
+        assert crash_count.value == 0  # the server was empty when it died
+        assert all(
+            j.status is JobStatus.FINISHED for j in sim.jobs.values()
+        )
+        sim.rm.verify_books()
