@@ -1,0 +1,218 @@
+"""Scheduling-epoch latency at cluster scale: incremental view vs scan.
+
+Runs the same seeded workload through the simulator twice per cell —
+once with the legacy full-scan path (``incremental_view=False``) and
+once with the delta-maintained :class:`~repro.core.view.ClusterView` —
+and reports the mean wall-clock cost of one scheduling epoch (the
+``scheduler.tick`` profiler phase) for each mode.  The two runs must
+produce byte-identical activity logs: the view is an optimisation, not
+a behaviour change, and this bench fails hard if the logs ever differ.
+
+Not a pytest bench: run it directly.
+
+    python benchmarks/bench_scale.py                 # full sweep, minutes
+    python benchmarks/bench_scale.py --quick         # CI smoke, seconds
+    python benchmarks/bench_scale.py --quick \\
+        --baseline benchmarks/results/BENCH_scale_quick_baseline.json
+
+Results land in ``BENCH_scale.json`` (override with ``--out``).  With
+``--baseline`` the run additionally fails when the view-mode mean epoch
+latency regresses past 2x the committed baseline for any cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.cluster.cluster import (  # noqa: E402
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.obs import Observability  # noqa: E402
+from repro.obs.profiling import (  # noqa: E402
+    PHASE_SCHEDULER_TICK,
+    PhaseProfiler,
+)
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.schedulers.fifo import FIFOScheduler, SJFScheduler  # noqa: E402
+from repro.simulator.simulation import (  # noqa: E402
+    Simulation,
+    SimulationConfig,
+)
+from repro.traces.workload import (  # noqa: E402
+    TraceConfig,
+    generate_workload,
+)
+
+SCHEMES = {"fifo": FIFOScheduler, "sjf": SJFScheduler}
+
+#: (training servers, jobs) per sweep point; the largest full-sweep
+#: point is the acceptance scale (>= 2,000 servers / >= 20,000 jobs).
+FULL_SCALES = [(256, 2500), (1024, 10000), (2048, 20000)]
+QUICK_SCALES = [(48, 500), (128, 1200)]
+
+DAYS = 0.25
+SEED = 11
+TARGET_LOAD = 0.8
+REGRESSION_FACTOR = 2.0
+
+
+def _digest(activities) -> str:
+    h = hashlib.sha256()
+    for a in activities:
+        h.update(
+            f"{a.time!r}|{a.kind.value}|{a.job_id!r}|{a.detail!r}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def _run_once(specs, servers: int, scheme: str, incremental: bool):
+    pair = ClusterPair(
+        make_training_cluster(servers), make_inference_cluster(4)
+    )
+    obs = Observability(tracer=Tracer.disabled(), phases=PhaseProfiler())
+    sim = Simulation(
+        specs,
+        pair,
+        SCHEMES[scheme](),
+        config=SimulationConfig(
+            record_activities=True, incremental_view=incremental
+        ),
+        obs=obs,
+    )
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    total = obs.phases.totals.get(PHASE_SCHEDULER_TICK, 0.0)
+    calls = obs.phases.counts.get(PHASE_SCHEDULER_TICK, 0)
+    return sim, {
+        "wall_s": round(wall, 3),
+        "epoch_total_s": round(total, 3),
+        "epochs": calls,
+        "mean_ms": round(1e3 * total / calls, 4) if calls else 0.0,
+        "epochs_skipped": sim._epochs_skipped,
+    }
+
+
+def run_cell(servers: int, jobs: int, scheme: str) -> dict:
+    specs = generate_workload(
+        TraceConfig(
+            num_jobs=jobs,
+            days=DAYS,
+            cluster_gpus=servers * 8,
+            seed=SEED,
+            target_load=TARGET_LOAD,
+        )
+    ).specs
+    legacy_sim, legacy = _run_once(specs, servers, scheme, incremental=False)
+    view_sim, view = _run_once(specs, servers, scheme, incremental=True)
+    identical = legacy_sim.activities == view_sim.activities
+    speedup = (
+        legacy["mean_ms"] / view["mean_ms"] if view["mean_ms"] else None
+    )
+    return {
+        "servers": servers,
+        "jobs": jobs,
+        "scheme": scheme,
+        "legacy": legacy,
+        "view": view,
+        "speedup": round(speedup, 3) if speedup else None,
+        "events": len(view_sim.activities),
+        "logs_identical": identical,
+        "sha256": _digest(view_sim.activities),
+    }
+
+
+def check_baseline(cells, baseline_path: str) -> list:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    ref = {
+        (c["servers"], c["jobs"], c["scheme"]): c["view"]["mean_ms"]
+        for c in baseline["cells"]
+    }
+    failures = []
+    for cell in cells:
+        key = (cell["servers"], cell["jobs"], cell["scheme"])
+        if key not in ref:
+            continue
+        limit = REGRESSION_FACTOR * ref[key]
+        if cell["view"]["mean_ms"] > limit:
+            failures.append(
+                f"{key}: view mean {cell['view']['mean_ms']:.3f} ms "
+                f"> {REGRESSION_FACTOR}x baseline {ref[key]:.3f} ms"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_scale.json",
+                        help="result JSON path")
+    parser.add_argument("--baseline",
+                        help="committed baseline JSON; fail on >2x "
+                             "view-mode epoch-latency regression")
+    args = parser.parse_args(argv)
+
+    scales = QUICK_SCALES if args.quick else FULL_SCALES
+    cells = []
+    for servers, jobs in scales:
+        for scheme in sorted(SCHEMES):
+            cell = run_cell(servers, jobs, scheme)
+            cells.append(cell)
+            print(
+                f"{scheme:4s} {servers:5d} servers {jobs:6d} jobs  "
+                f"legacy {cell['legacy']['mean_ms']:8.3f} ms  "
+                f"view {cell['view']['mean_ms']:8.3f} ms  "
+                f"speedup {cell['speedup']:.2f}x  "
+                f"skipped {cell['view']['epochs_skipped']:5d}  "
+                f"identical={cell['logs_identical']}"
+            )
+
+    top = [c for c in cells if c["servers"] >= 2000 and c["jobs"] >= 20000]
+    result = {
+        "config": {
+            "days": DAYS,
+            "seed": SEED,
+            "target_load": TARGET_LOAD,
+            "quick": args.quick,
+        },
+        "cells": cells,
+        "all_logs_identical": all(c["logs_identical"] for c in cells),
+        "min_speedup": min(c["speedup"] for c in cells),
+        "acceptance_scale_speedup": (
+            min(c["speedup"] for c in top) if top else None
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not result["all_logs_identical"]:
+        print("FAIL: incremental view changed the activity log",
+              file=sys.stderr)
+        return 1
+    if args.baseline:
+        failures = check_baseline(cells, args.baseline)
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,16 +21,32 @@ class Cluster:
     def __init__(self, name: str, servers: Iterable[Server] = ()):
         self.name = name
         self._servers: Dict[str, Server] = {}
+        #: attached ClusterView (delta consumer), if any
+        self._view = None
         for server in servers:
             self.add_server(server)
 
     # ------------------------------------------------------------------
     # whitelist maintenance
     # ------------------------------------------------------------------
+    def attach_view(self, view) -> None:
+        """Wire a ClusterView to receive every membership/booking delta.
+
+        Existing members get their change hook pointed at the view; the
+        view itself is expected to have indexed current state already
+        (its constructor rebuilds before attaching).
+        """
+        self._view = view
+        for server in self._servers.values():
+            server._on_change = view.server_changed
+
     def add_server(self, server: Server) -> None:
         if server.server_id in self._servers:
             raise ValueError(f"duplicate server id {server.server_id!r}")
         self._servers[server.server_id] = server
+        if self._view is not None:
+            server._on_change = self._view.server_changed
+            self._view.server_added(server)
 
     def remove_server(self, server_id: str) -> Server:
         """Drop a server from the whitelist.
@@ -47,6 +63,9 @@ class Cluster:
                 f"{sorted(server.allocations)}; vacate before removal"
             )
         del self._servers[server_id]
+        if self._view is not None:
+            server._on_change = None
+            self._view.server_removed(server)
         return server
 
     def __contains__(self, server_id: str) -> bool:

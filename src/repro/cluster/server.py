@@ -9,7 +9,7 @@ fits entirely on one server.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.cluster.gpu import GPUType
 
@@ -48,6 +48,11 @@ class Server:
     perf_factor: float = 1.0
     #: GPUs occupied per job id
     allocations: Dict[int, int] = field(default_factory=dict)
+    #: change hook wired by :meth:`Cluster.attach_view`; fired after every
+    #: successful allocate/release so the ClusterView stays delta-current
+    _on_change: Optional[Callable[["Server"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -96,6 +101,8 @@ class Server:
                 f"{self.free_gpus} free"
             )
         self.allocations[job_id] = self.allocations.get(job_id, 0) + gpus
+        if self._on_change is not None:
+            self._on_change(self)
 
     def release(self, job_id: int, gpus: Optional[int] = None) -> int:
         """Free GPUs held by ``job_id`` (all of them when ``gpus`` is None).
@@ -109,10 +116,14 @@ class Server:
             return 0
         if gpus is None or gpus >= held:
             del self.allocations[job_id]
+            if self._on_change is not None:
+                self._on_change(self)
             return held
         if gpus <= 0:
             raise ValueError(f"gpus must be positive, got {gpus}")
         self.allocations[job_id] = held - gpus
+        if self._on_change is not None:
+            self._on_change(self)
         return gpus
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -156,6 +156,7 @@ def sjf_phase(
     pending: Sequence[Job],
     pools: Pools,
     order_key=None,
+    presorted: bool = False,
 ) -> Tuple[List[Tuple[Job, str]], List[Job]]:
     """Phase one: admit base demands shortest-job-first.
 
@@ -163,7 +164,9 @@ def sjf_phase(
     unless ``order_key`` overrides the ordering (the information-agnostic
     variant orders by attained service instead); a job that does not fit
     is skipped and the scan continues, so small jobs can backfill around
-    a large blocked one.
+    a large blocked one.  ``presorted`` promises ``pending`` is already
+    in ``order_key`` order (e.g. the ClusterView's cached queue) and
+    skips the sort.
 
     Returns ``(scheduled, skipped)``; mutates ``pools`` in place.
     """
@@ -173,7 +176,7 @@ def sjf_phase(
         )
     scheduled: List[Tuple[Job, str]] = []
     skipped: List[Job] = []
-    by_runtime = sorted(pending, key=order_key)
+    by_runtime = list(pending) if presorted else sorted(pending, key=order_key)
     for job in by_runtime:
         domain = _fits(job, job.spec.base_gpus, pools)
         if domain is None:
@@ -229,6 +232,7 @@ def allocate_two_phase(
     order_key=None,
     value_fn=jct_reduction_value,
     phases=None,
+    presorted: bool = False,
 ) -> AllocationDecision:
     """Run both allocation phases for one scheduling epoch.
 
@@ -249,7 +253,7 @@ def allocate_two_phase(
         phases = NULL_PROFILER
     decision = AllocationDecision()
     decision.scheduled, decision.skipped = sjf_phase(
-        pending, pools, order_key=order_key
+        pending, pools, order_key=order_key, presorted=presorted
     )
 
     # Phase two: flexible demand of scheduled + running elastic jobs.

@@ -157,9 +157,13 @@ class ResourceOrchestrator:
         # Pending demand only creates loan-need where it overflows the
         # free dedicated capacity (the scheduler prefers training
         # hardware for inelastic work, §5.3).
-        training_free = sum(
-            s.free_gpus for s in sim.pair.training.dedicated_servers
-        )
+        view = getattr(sim, "view", None)
+        if view is not None:
+            training_free = view.dedicated_free
+        else:
+            training_free = sum(
+                s.free_gpus for s in sim.pair.training.dedicated_servers
+            )
         pending_total = sum(j.spec.base_gpus for j in sim.pending)
         supply_gpus = supply * gpus_per_server
         pending_eligible = 0
@@ -309,14 +313,24 @@ class ResourceOrchestrator:
         # the trace before executing the plan mutates the placements.
         costs = None
         if sim.tracer.enabled:
-            costs = {
-                sid: round(
-                    server_preemption_cost(sim.pair.training.get(sid),
-                                           sim.jobs), 4,
-                )
-                for sid in plan.servers
-                if sid in sim.pair.training
-            }
+            view = getattr(sim, "view", None)
+            if view is not None:
+                # served from the view's cached per-server job-fraction
+                # index (rebuilt only when a delta arrived)
+                costs = {
+                    sid: round(view.reclaim_cost(sid), 4)
+                    for sid in plan.servers
+                    if sid in sim.pair.training
+                }
+            else:
+                costs = {
+                    sid: round(
+                        server_preemption_cost(sim.pair.training.get(sid),
+                                               sim.jobs), 4,
+                    )
+                    for sid in plan.servers
+                    if sid in sim.pair.training
+                }
         # 1. Scale elastic jobs in (no preemption).
         for job_id, per_server in plan.scaled_in.items():
             job = sim.jobs[job_id]

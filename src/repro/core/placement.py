@@ -83,6 +83,7 @@ class PlacementEngine:
         opportunistic: bool = False,
         rm: Optional["ResourceManager"] = None,
         now: float = 0.0,
+        view=None,
     ):
         self.cluster = cluster
         self.special_elastic_grouping = special_elastic_grouping
@@ -93,6 +94,9 @@ class PlacementEngine:
         #: tracked containers and unhealthy nodes are avoided
         self.rm = rm
         self.now = now
+        #: optional ClusterView: candidate sets come from its
+        #: free-capacity index instead of full cluster scans
+        self.view = view
 
     # ------------------------------------------------------------------
     # candidate ordering
@@ -107,9 +111,15 @@ class PlacementEngine:
         return None
 
     def _eligible(self, job: Job, server: Server, flexible: bool) -> bool:
+        return self._domain_eligible(job, server.on_loan)
+
+    def _domain_eligible(self, job: Job, on_loan: bool) -> bool:
+        """Eligibility is a *domain* property: it depends only on whether
+        the server is on loan, never on the individual machine — which is
+        what lets the view prune whole buckets at once."""
         if self.opportunistic and job.spec.fungible:
-            return server.on_loan
-        if not server.on_loan:
+            return on_loan
+        if not on_loan:
             return True
         # On-loan (inference-type) servers take only fungible or
         # heterogeneous jobs.
@@ -154,19 +164,36 @@ class PlacementEngine:
 
     def _candidates(self, job: Job, flexible: bool) -> List[Server]:
         lock = self._gpu_type_lock(job)
-        servers = []
-        for server in self.cluster.servers:
-            if server.free_gpus < self.worker_cost(job, server):
-                continue
-            if self.rm is not None and not self.rm.is_healthy(
-                server.server_id
-            ):
-                continue
-            if not self._eligible(job, server, flexible):
-                continue
-            if lock is not None and server.gpu_type.name != lock:
-                continue
-            servers.append(server)
+        if self.view is not None:
+            # Free-capacity index: only servers of eligible domains with
+            # enough free GPUs are even visited.  The sort key below is a
+            # total order (it ends in server_id), so sorting the same
+            # candidate *set* yields the exact list the full scan would.
+            servers = self.view.candidates(
+                cost_for_type=lambda tname: math.ceil(
+                    job.spec.gpus_per_worker / self.view.rel_compute(tname)
+                ),
+                domain_ok=lambda on_loan: self._domain_eligible(job, on_loan),
+                type_lock=lock,
+            )
+            if self.rm is not None:
+                servers = [
+                    s for s in servers if self.rm.is_healthy(s.server_id)
+                ]
+        else:
+            servers = []
+            for server in self.cluster.servers:
+                if server.free_gpus < self.worker_cost(job, server):
+                    continue
+                if self.rm is not None and not self.rm.is_healthy(
+                    server.server_id
+                ):
+                    continue
+                if not self._eligible(job, server, flexible):
+                    continue
+                if lock is not None and server.gpu_type.name != lock:
+                    continue
+                servers.append(server)
         # Best fit: fewest free GPUs first within a preference tier, and
         # prefer partially-used servers over empty ones to curb
         # fragmentation.  Within a tier, full-speed servers beat known
@@ -237,11 +264,22 @@ class PlacementEngine:
             return False
         workers = request.base_workers + request.flex_workers
         for on_loan in (False, True):
-            capacity = 0
-            for server in self.cluster.servers:
-                if server.on_loan != on_loan:
-                    continue
-                capacity += server.free_gpus // self.worker_cost(job, server)
+            if self.view is not None:
+                capacity = self.view.domain_capacity(
+                    on_loan,
+                    cost_for_type=lambda tname: math.ceil(
+                        job.spec.gpus_per_worker
+                        / self.view.rel_compute(tname)
+                    ),
+                )
+            else:
+                capacity = 0
+                for server in self.cluster.servers:
+                    if server.on_loan != on_loan:
+                        continue
+                    capacity += (
+                        server.free_gpus // self.worker_cost(job, server)
+                    )
             if capacity >= workers:
                 return False
         return True

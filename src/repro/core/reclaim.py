@@ -116,6 +116,23 @@ def server_preemption_cost(
     return sum(1.0 / _base_span(job) for job in base_jobs)
 
 
+def preemption_cost_index(
+    servers: Sequence[Server],
+    jobs: Mapping[int, Job],
+    model: CostModel = CostModel.SERVER_FRACTION,
+) -> Dict[str, float]:
+    """Preemption cost of each server, as one batch.
+
+    The ClusterView caches this index keyed by its delta version, so the
+    orchestrator's reclaim tracing reads costs without rescanning job
+    placements between capacity changes.
+    """
+    return {
+        server.server_id: server_preemption_cost(server, jobs, model)
+        for server in servers
+    }
+
+
 # ----------------------------------------------------------------------
 # Lyra's greedy heuristic
 # ----------------------------------------------------------------------

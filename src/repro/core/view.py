@@ -1,0 +1,376 @@
+"""Incrementally-maintained scheduling state (the ClusterView layer).
+
+The paper's cluster runs tens of thousands of jobs over thousands of GPUs
+with a scheduler triggered at every arrival, completion and capacity
+change (§3, §7.1).  Recomputing the world from scratch at each epoch —
+scanning every server for free pools, rescanning all servers per placed
+job, re-sorting the whole pending queue — makes the hot path
+O(epochs × jobs × servers).  :class:`ClusterView` replaces those scans
+with state that is maintained *incrementally*:
+
+* cached **pool totals** (free dedicated / free on-loan GPUs) so
+  :meth:`pools` is O(1) instead of O(servers);
+* a **free-capacity index** bucketing servers by ``(on_loan, gpu type)``
+  and current free-GPU level, so the placement engine asks "servers of
+  type T with ≥ c free GPUs" instead of filtering the whole cluster;
+* deterministic per-type **on-loan cost** derived from the set of loaned
+  GPU types (not from iteration order);
+* a cached **pending-queue ordering** per policy, recomputed only when
+  the queue actually changed;
+* a cached per-server **job-fraction (preemption-cost) index** consumed
+  by the orchestrator's reclaim path.
+
+Invalidation contract
+---------------------
+
+The view is *delta-maintained*: it never polls.  Every mutation point
+must notify it:
+
+* ``Server.allocate`` / ``Server.release`` fire the server's
+  ``_on_change`` hook, wired by :meth:`Cluster.attach_view` — this covers
+  job start, finish, scale-out, scale-in and preemption, whether booked
+  directly or through the :class:`~repro.rm.manager.ResourceManager`;
+* ``Cluster.add_server`` / ``Cluster.remove_server`` call
+  :meth:`server_added` / :meth:`server_removed` — this covers capacity
+  loaning and reclaiming (:class:`~repro.cluster.cluster.ClusterPair`
+  routes through them);
+* the :class:`~repro.simulator.simulation.Simulation` calls
+  :meth:`note_queue_change` on every pending-queue mutation (arrival,
+  activation, preemption re-queue) and :meth:`bump` on events the books
+  cannot see (node failure/recovery, server degradation).
+
+Every delta increments :attr:`version`; consumers cache derived results
+keyed by the version, and the simulator skips a scheduling epoch
+entirely when an idempotent policy would re-run against an unchanged
+version.  :meth:`assert_consistent` checks the live state against a
+from-scratch rebuild (the property-test contract).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import Server
+from repro.core.allocation import Pools
+from repro.core.reclaim import preemption_cost_index
+
+#: Bucket key: (on_loan, gpu type name).
+BucketKey = Tuple[bool, str]
+
+
+def deterministic_onloan_cost(
+    rel_computes: Sequence[float], default: float = 3.0
+) -> float:
+    """The §5.2 on-loan cost factor, made iteration-order independent.
+
+    With heterogeneous loaned hardware the historical scan derived the
+    cost from whichever on-loan server happened to iterate last.  The
+    deterministic rule: charge the cost of the *weakest* loaned GPU type
+    (``max`` of ``1/relative_compute``) — conservative in the only
+    direction that matters, since the allocator uses the cost to decide
+    whether normalized demand fits the physical on-loan pool and must
+    never overcommit it.  Falls back to ``default`` when nothing is on
+    loan, and never drops below 1 (loaned GPUs are never *stronger*
+    per-GPU bookkeeping-wise, §7.5).
+    """
+    if not rel_computes:
+        return max(1.0, default)
+    return max(1.0, max(1.0 / rel for rel in rel_computes))
+
+
+class ClusterView:
+    """Delta-maintained scheduling state over one (training) cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        default_onloan_cost: float = 3.0,
+        jobs: Optional[Mapping[int, "Job"]] = None,
+        attach: bool = True,
+    ):
+        self.cluster = cluster
+        self.default_onloan_cost = default_onloan_cost
+        #: live job table (set by the simulation); needed only for the
+        #: reclaim-cost index
+        self.jobs = jobs
+        #: bumped on every delta; consumers key caches off it
+        self.version = 0
+        # ---- indexed state (all rebuilt by :meth:`rebuild`) ----
+        self._keys: Dict[str, BucketKey] = {}
+        self._levels: Dict[str, int] = {}
+        self._buckets: Dict[BucketKey, Dict[int, Dict[str, Server]]] = {}
+        self._rel: Dict[str, float] = {}
+        self._free_total: Dict[bool, int] = {False: 0, True: 0}
+        self._onloan_type_servers: Dict[str, int] = {}
+        #: on-loan servers currently hosting at least one allocation
+        #: (the candidate set of the reclaim cost index)
+        self._alloc_onloan: Set[str] = set()
+        # ---- version-keyed caches ----
+        self._pending_cache: Dict[str, Tuple[int, List["Job"]]] = {}
+        self._cost_cache: Optional[Tuple[int, Dict[str, float]]] = None
+        self.rebuild()
+        if attach:
+            cluster.attach_view(self)
+
+    # ------------------------------------------------------------------
+    # full rebuild (initialisation and the property-test reference)
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Recompute every index from the cluster's current state."""
+        self._keys.clear()
+        self._levels.clear()
+        self._buckets.clear()
+        self._free_total = {False: 0, True: 0}
+        self._onloan_type_servers = {}
+        self._alloc_onloan.clear()
+        for server in self.cluster.servers:
+            self._index(server)
+        self.version += 1
+
+    def _index(self, server: Server) -> None:
+        sid = server.server_id
+        key = (server.on_loan, server.gpu_type.name)
+        self._keys[sid] = key
+        self._rel[key[1]] = server.gpu_type.relative_compute
+        level = server.free_gpus
+        self._levels[sid] = level
+        if level > 0:
+            self._buckets.setdefault(key, {}).setdefault(level, {})[sid] = server
+        self._free_total[key[0]] += level
+        if key[0]:
+            self._onloan_type_servers[key[1]] = (
+                self._onloan_type_servers.get(key[1], 0) + 1
+            )
+            if server.allocations:
+                self._alloc_onloan.add(sid)
+
+    def _deindex(self, server: Server) -> None:
+        sid = server.server_id
+        key = self._keys.pop(sid)
+        level = self._levels.pop(sid)
+        if level > 0:
+            self._drop_from_bucket(key, level, sid)
+        self._free_total[key[0]] -= level
+        if key[0]:
+            count = self._onloan_type_servers.get(key[1], 0) - 1
+            if count > 0:
+                self._onloan_type_servers[key[1]] = count
+            else:
+                self._onloan_type_servers.pop(key[1], None)
+            self._alloc_onloan.discard(sid)
+
+    def _drop_from_bucket(self, key: BucketKey, level: int, sid: str) -> None:
+        members = self._buckets[key][level]
+        del members[sid]
+        if not members:
+            del self._buckets[key][level]
+            if not self._buckets[key]:
+                del self._buckets[key]
+
+    # ------------------------------------------------------------------
+    # delta entry points
+    # ------------------------------------------------------------------
+    def server_changed(self, server: Server) -> None:
+        """A member server's books changed (allocate/release hook)."""
+        sid = server.server_id
+        key = self._keys.get(sid)
+        if key is None:  # not (or no longer) a member of this cluster
+            return
+        old = self._levels[sid]
+        new = server.free_gpus
+        if new != old:
+            if old > 0:
+                self._drop_from_bucket(key, old, sid)
+            if new > 0:
+                self._buckets.setdefault(key, {}).setdefault(new, {})[sid] = (
+                    server
+                )
+            self._levels[sid] = new
+            self._free_total[key[0]] += new - old
+        if key[0]:
+            if server.allocations:
+                self._alloc_onloan.add(sid)
+            else:
+                self._alloc_onloan.discard(sid)
+        self.version += 1
+
+    def server_added(self, server: Server) -> None:
+        self._index(server)
+        self.version += 1
+
+    def server_removed(self, server: Server) -> None:
+        self._deindex(server)
+        self.version += 1
+
+    def note_queue_change(self) -> None:
+        """The simulation's pending queue changed (arrive/start/requeue)."""
+        self.version += 1
+
+    def bump(self) -> None:
+        """Invalidate for a state change the GPU books cannot express
+        (node health transitions, straggler degradation)."""
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # queries: pools and on-loan cost
+    # ------------------------------------------------------------------
+    @property
+    def dedicated_free(self) -> int:
+        """Free GPUs on dedicated training servers — O(1)."""
+        return self._free_total[False]
+
+    @property
+    def onloan_free(self) -> int:
+        """Free GPUs on on-loan servers — O(1)."""
+        return self._free_total[True]
+
+    def onloan_cost(self) -> float:
+        """Deterministic §5.2 cost factor of the loaned hardware."""
+        return deterministic_onloan_cost(
+            [self._rel[t] for t in self._onloan_type_servers],
+            default=self.default_onloan_cost,
+        )
+
+    def pools(self) -> Pools:
+        """The free-capacity pools, without scanning a single server."""
+        return Pools(
+            training=self._free_total[False],
+            onloan=self._free_total[True],
+            onloan_cost=self.onloan_cost(),
+        )
+
+    # ------------------------------------------------------------------
+    # queries: placement candidates
+    # ------------------------------------------------------------------
+    def rel_compute(self, type_name: str) -> float:
+        return self._rel[type_name]
+
+    @property
+    def buckets(self) -> Mapping[BucketKey, Dict[int, Dict[str, Server]]]:
+        """Free-capacity index: ``(on_loan, type) -> {level: {id: server}}``.
+
+        Only servers with at least one free GPU appear.  Read-only —
+        consumers must never mutate the returned structures.
+        """
+        return self._buckets
+
+    def candidates(
+        self,
+        cost_for_type: Callable[[str], int],
+        domain_ok: Callable[[bool], bool],
+        type_lock: Optional[str] = None,
+    ) -> List[Server]:
+        """Servers able to host ≥ 1 worker at per-type GPU cost.
+
+        Exactly the set a full scan would produce (free capacity, domain
+        eligibility, GPU-type lock) in unspecified order — callers apply
+        their own ranking.  Health filtering stays with the caller (the
+        placement engine), since node health lives in the RM.
+        """
+        out: List[Server] = []
+        for (on_loan, tname), levels in self._buckets.items():
+            if type_lock is not None and tname != type_lock:
+                continue
+            if not domain_ok(on_loan):
+                continue
+            cost = cost_for_type(tname)
+            if cost <= 0:
+                continue
+            for level, members in levels.items():
+                if level >= cost:
+                    out.extend(members.values())
+        return out
+
+    def domain_capacity(
+        self, on_loan: bool, cost_for_type: Callable[[str], int]
+    ) -> int:
+        """Whole workers one domain can still host at per-type cost."""
+        total = 0
+        for (ol, tname), levels in self._buckets.items():
+            if ol != on_loan:
+                continue
+            cost = cost_for_type(tname)
+            if cost <= 0:
+                continue
+            for level, members in levels.items():
+                total += (level // cost) * len(members)
+        return total
+
+    # ------------------------------------------------------------------
+    # queries: pending-queue ordering
+    # ------------------------------------------------------------------
+    def ordered_pending(
+        self,
+        cache_key: str,
+        key_fn: Callable[["Job"], Tuple],
+        pending: Sequence["Job"],
+    ) -> List["Job"]:
+        """``sorted(pending, key=key_fn)``, cached until the next delta.
+
+        Valid only for *static* ordering keys (keys that cannot change
+        without a tracked delta, e.g. submit time or estimated
+        duration); time-varying orders (least-attained-service) must
+        sort fresh each epoch.  The returned list is shared — callers
+        must treat it as read-only.
+        """
+        cached = self._pending_cache.get(cache_key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        ordered = sorted(pending, key=key_fn)
+        self._pending_cache[cache_key] = (self.version, ordered)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # queries: reclaim cost (per-server job-fraction index)
+    # ------------------------------------------------------------------
+    def reclaim_cost_index(self) -> Dict[str, float]:
+        """Preemption cost of every allocated on-loan server (Table 1's
+        server-fraction model), cached until the next delta."""
+        if self._cost_cache is not None and self._cost_cache[0] == self.version:
+            return self._cost_cache[1]
+        jobs = self.jobs if self.jobs is not None else {}
+        servers = [
+            self.cluster.get(sid) for sid in sorted(self._alloc_onloan)
+        ]
+        index = preemption_cost_index(servers, jobs)
+        self._cost_cache = (self.version, index)
+        return index
+
+    def reclaim_cost(self, server_id: str) -> float:
+        """Preemption cost of one server (0 for unallocated servers)."""
+        return self.reclaim_cost_index().get(server_id, 0.0)
+
+    # ------------------------------------------------------------------
+    # consistency (the property-test contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """The indexed state as plain comparable structures."""
+        return {
+            "levels": dict(self._levels),
+            "keys": dict(self._keys),
+            "buckets": {
+                key: {lvl: set(members) for lvl, members in levels.items()}
+                for key, levels in self._buckets.items()
+            },
+            "free_total": dict(self._free_total),
+            "onloan_types": dict(self._onloan_type_servers),
+            "alloc_onloan": set(self._alloc_onloan),
+            "onloan_cost": self.onloan_cost(),
+        }
+
+    def assert_consistent(self) -> None:
+        """Raise AssertionError unless the live state equals a rebuild."""
+        reference = ClusterView(
+            self.cluster,
+            default_onloan_cost=self.default_onloan_cost,
+            jobs=self.jobs,
+            attach=False,
+        )
+        live, fresh = self.snapshot(), reference.snapshot()
+        for field in live:
+            assert live[field] == fresh[field], (
+                f"ClusterView drift in {field!r}:\n"
+                f"  incremental: {live[field]!r}\n"
+                f"  rebuilt:     {fresh[field]!r}"
+            )

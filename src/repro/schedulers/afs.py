@@ -26,6 +26,13 @@ class AFSScheduler(SchedulerPolicy):
     """Greedy marginal-throughput-per-GPU elastic scheduler."""
 
     name = "afs"
+    #: marginal gains depend only on current worker counts; with no
+    #: deltas the greedy loop re-derives the same (failed) last step
+    epoch_idempotent = True
+
+    @staticmethod
+    def order_key(job):
+        return (job.spec.submit_time, job.job_id)
 
     @staticmethod
     def _effective_workers(job: Job, workers: int) -> float:
@@ -50,8 +57,8 @@ class AFSScheduler(SchedulerPolicy):
     def schedule(self, sim: "Simulation") -> None:
         # Base admission: arrival order with backfill (AFS admits each
         # job's minimum demand first, like Lyra - §7.4).
-        ordered = sorted(
-            sim.pending, key=lambda j: (j.spec.submit_time, j.job_id)
+        ordered = self.sorted_pending(
+            sim, self.order_key, self.name + ":order"
         )
         self.admit_inelastically(sim, ordered)
 

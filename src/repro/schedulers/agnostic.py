@@ -72,3 +72,6 @@ class LyraAgnosticScheduler(LyraScheduler):
     #: hooks consumed by :meth:`LyraScheduler.schedule`
     order_key = staticmethod(las_order_key)
     value_fn = staticmethod(throughput_gain_value)
+    #: attained service grows with the clock — the pending order is
+    #: time-varying and must be re-sorted every epoch, never cached
+    dynamic_order = True

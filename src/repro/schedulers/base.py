@@ -24,6 +24,13 @@ class SchedulerPolicy(abc.ABC):
     #: human-readable scheme name (matches the paper's tables)
     name: str = "abstract"
 
+    #: True when re-running :meth:`schedule` against unchanged cluster and
+    #: queue state provably repeats the previous epoch's (non-)decisions,
+    #: letting the simulator skip the epoch outright when the ClusterView
+    #: reports no deltas.  Policies whose decisions depend on wall-clock
+    #: time, attained service, or internal RNG state must leave this False.
+    epoch_idempotent: bool = False
+
     @abc.abstractmethod
     def schedule(self, sim: "Simulation") -> None:
         """Run one scheduling epoch against the simulation state."""
@@ -35,19 +42,30 @@ class SchedulerPolicy(abc.ABC):
     def free_pools(sim: "Simulation") -> Pools:
         """Current idle capacity split into training / on-loan pools.
 
-        The on-loan cost factor (physical GPUs per normalized GPU, §5.2)
-        is derived from the loaned hardware's relative compute.
+        Served O(1) from the ClusterView's cached totals when available;
+        the fallback scans every server.  Either way the on-loan cost
+        factor (physical GPUs per normalized GPU, §5.2) is derived
+        deterministically from the loaned hardware's relative compute:
+        the *weakest* loaned type sets the cost, so heterogeneous loans
+        can never overcommit the physical on-loan pool (historically the
+        scan kept whichever server iterated last — iteration-order-
+        dependent with mixed loaned hardware).
         """
+        view = getattr(sim, "view", None)
+        if view is not None:
+            return view.pools()
         training = onloan = 0
-        cost = 1.0 / sim.pair.inference_compute if hasattr(
+        default = 1.0 / sim.pair.inference_compute if hasattr(
             sim.pair, "inference_compute"
         ) else 3.0
+        costs = []
         for server in sim.cluster.servers:
             if server.on_loan:
                 onloan += server.free_gpus
-                cost = 1.0 / server.gpu_type.relative_compute
+                costs.append(1.0 / server.gpu_type.relative_compute)
             else:
                 training += server.free_gpus
+        cost = max(costs) if costs else default
         return Pools(training=training, onloan=onloan, onloan_cost=max(1.0, cost))
 
     @staticmethod
@@ -69,12 +87,37 @@ class SchedulerPolicy(abc.ABC):
 
     @staticmethod
     def make_engine(sim: "Simulation") -> PlacementEngine:
+        """The epoch's placement engine.
+
+        Simulations expose a persistent, view-fed engine through
+        ``sim.placement_engine()``; bare harnesses (unit tests driving a
+        policy directly) fall back to constructing a throwaway one.
+        """
+        maker = getattr(sim, "placement_engine", None)
+        if maker is not None:
+            return maker()
         return PlacementEngine(
             sim.cluster,
             special_elastic_grouping=sim.config.special_elastic_grouping,
             rm=getattr(sim, "rm", None),
             now=sim.now,
         )
+
+    def sorted_pending(
+        self, sim: "Simulation", key_fn, cache_key: str, dynamic: bool = False
+    ) -> Sequence[Job]:
+        """The pending queue in ``key_fn`` order, cached on the view.
+
+        ``dynamic`` marks time-varying orderings (least-attained-service)
+        that must be recomputed every epoch.  All our ordering keys end
+        in ``job_id`` — total orders — so the cached result is identical
+        to a fresh ``sorted`` regardless of queue insertion order.  The
+        returned sequence is read-only.
+        """
+        view = getattr(sim, "view", None)
+        if view is not None and not dynamic:
+            return view.ordered_pending(cache_key, key_fn, sim.pending)
+        return sorted(sim.pending, key=key_fn)
 
     @staticmethod
     def update_hetero_penalty(sim: "Simulation", job: Job) -> None:

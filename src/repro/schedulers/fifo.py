@@ -25,12 +25,23 @@ class FIFOScheduler(SchedulerPolicy):
     """First-in-first-out with backfill; every job runs at base demand."""
 
     name = "fifo"
+    #: arrival order and runtime estimates never change between deltas,
+    #: and a failed admission attempt leaves no state behind — re-running
+    #: the epoch on unchanged state is a no-op
+    epoch_idempotent = True
+
+    @staticmethod
+    def order_key(job: Job):
+        return (job.spec.submit_time, job.job_id)
 
     def order(self, pending: List[Job]) -> List[Job]:
-        return sorted(pending, key=lambda j: (j.spec.submit_time, j.job_id))
+        return sorted(pending, key=self.order_key)
 
     def schedule(self, sim: "Simulation") -> None:
-        self.admit_inelastically(sim, self.order(sim.pending))
+        ordered = self.sorted_pending(
+            sim, self.order_key, self.name + ":order"
+        )
+        self.admit_inelastically(sim, ordered)
 
 
 class SJFScheduler(FIFOScheduler):
@@ -38,11 +49,9 @@ class SJFScheduler(FIFOScheduler):
 
     name = "sjf"
 
-    def order(self, pending: List[Job]) -> List[Job]:
-        return sorted(
-            pending,
-            key=lambda j: (j.estimated_duration(), j.spec.submit_time, j.job_id),
-        )
+    @staticmethod
+    def order_key(job: Job):
+        return (job.estimated_duration(), job.spec.submit_time, job.job_id)
 
 
 class OpportunisticScheduling(FIFOScheduler):
@@ -57,16 +66,23 @@ class OpportunisticScheduling(FIFOScheduler):
     name = "opportunistic"
 
     def schedule(self, sim: "Simulation") -> None:
-        engine = PlacementEngine(
-            sim.cluster,
-            special_elastic_grouping=sim.config.special_elastic_grouping,
-            opportunistic=True,
-            rm=sim.rm,
-            now=sim.now,
-        )
+        maker = getattr(sim, "placement_engine", None)
+        if maker is not None:
+            engine = maker(opportunistic=True)
+        else:
+            engine = PlacementEngine(
+                sim.cluster,
+                special_elastic_grouping=sim.config.special_elastic_grouping,
+                opportunistic=True,
+                rm=sim.rm,
+                now=sim.now,
+            )
         pools = self.free_pools(sim)
         failed_shapes = set()
-        for job in self.order(sim.pending):
+        ordered = self.sorted_pending(
+            sim, self.order_key, self.name + ":order"
+        )
+        for job in ordered:
             workers = job.spec.min_workers
             gpus = workers * job.spec.gpus_per_worker
             budget = pools.onloan if job.spec.fungible else pools.training

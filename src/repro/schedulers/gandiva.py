@@ -22,11 +22,18 @@ class GandivaScheduler(SchedulerPolicy):
     """Opportunistic grow-only elastic scheduling."""
 
     name = "gandiva"
+    #: admission and the grow loop both run to a fixpoint each epoch —
+    #: with no deltas since, re-running repeats the same failed attempts
+    epoch_idempotent = True
+
+    @staticmethod
+    def order_key(job):
+        return (job.spec.submit_time, job.job_id)
 
     def schedule(self, sim: "Simulation") -> None:
         # Admission: FIFO with backfill at base demand.
-        ordered = sorted(
-            sim.pending, key=lambda j: (j.spec.submit_time, j.job_id)
+        ordered = self.sorted_pending(
+            sim, self.order_key, self.name + ":order"
         )
         self.admit_inelastically(sim, ordered)
 

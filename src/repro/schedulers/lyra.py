@@ -37,8 +37,13 @@ class LyraScheduler(SchedulerPolicy):
     name = "lyra"
     #: phase-one ordering (default: shortest estimated runtime first)
     order_key = staticmethod(_sjf_key)
-    #: phase-two MCKP item value (default: estimated JCT reduction)
+    #: phase-two MCKP item values depend on *remaining* time — they drift
+    #: with the clock, so epochs are never skippable (epoch_idempotent
+    #: stays False)
     value_fn = staticmethod(jct_reduction_value)
+    #: True when order_key is time-varying (least-attained-service) and
+    #: the cached pending order must not be reused across epochs
+    dynamic_order = False
 
     def schedule(self, sim: "Simulation") -> None:
         elastic_on = sim.config.elastic
@@ -50,11 +55,13 @@ class LyraScheduler(SchedulerPolicy):
         pools = self.free_pools(sim)
         self.credit_flex(sim, pools, running_elastic)
 
-        pending = list(sim.pending)
+        pending = self.sorted_pending(
+            sim, self.order_key, self.name + ":p1", dynamic=self.dynamic_order
+        )
         if not elastic_on:
             # Elastic scaling disabled: treat every job as inelastic at
             # its base demand; phase two never runs.
-            self.admit_inelastically(sim, sorted(pending, key=self.order_key))
+            self.admit_inelastically(sim, pending)
             return
 
         with sim.phase(PHASE_ALLOCATION):
@@ -65,6 +72,7 @@ class LyraScheduler(SchedulerPolicy):
                 order_key=self.order_key,
                 value_fn=self.value_fn,
                 phases=sim.obs.phases,
+                presorted=True,
             )
         if sim.tracer.enabled:
             sim.trace(

@@ -39,6 +39,14 @@ class Engine:
     def pending_events(self) -> int:
         return len(self._heap)
 
+    def peek_next_time(self) -> Optional[float]:
+        """Absolute time of the earliest scheduled event, or None.
+
+        Lets periodic wake-ups (the simulator heartbeat) skip ahead past
+        known-idle stretches instead of firing on every grid point.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def stop(self) -> None:
         """Abort the run loop after the current callback returns."""
         self._stopped = True

@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.cluster import Cluster, ClusterPair
 from repro.cluster.job import Job, JobSpec, JobStatus
+from repro.core.placement import PlacementEngine
+from repro.core.view import ClusterView
 from repro.elastic.throughput import get_scaling_model
 from repro.obs import Observability, get_logger
 from repro.obs.profiling import PHASE_SCHEDULER_TICK
@@ -106,6 +108,10 @@ class SimulationConfig:
     #: supersedes the legacy ``node_mtbf`` knobs when set.  Typed loosely
     #: so fault-free simulations never import :mod:`repro.faults`.
     fault_plan: Optional[object] = None
+    #: maintain a delta-invalidated :class:`~repro.core.view.ClusterView`
+    #: and serve pools/candidates/queue order from it (False falls back
+    #: to the legacy full-scan path; decisions are identical either way)
+    incremental_view: bool = True
 
     def __post_init__(self) -> None:
         if self.scheduler_interval <= 0:
@@ -173,6 +179,27 @@ class Simulation:
             self._last_arrival = max(self._last_arrival, spec.submit_time)
         self.metrics.jobs = list(self.jobs.values())
         self.metrics.submissions = len(self.jobs)
+
+        #: incremental scheduling state; None in legacy full-scan mode
+        self.view: Optional[ClusterView] = None
+        if config.incremental_view:
+            default_cost = (
+                1.0 / pair.inference_compute
+                if hasattr(pair, "inference_compute")
+                else 3.0
+            )
+            self.view = ClusterView(
+                pair.training,
+                default_onloan_cost=default_cost,
+                jobs=self.jobs,
+            )
+        #: persistent placement engines, keyed by opportunistic flag
+        self._engines: Dict[bool, PlacementEngine] = {}
+        #: scheduling epochs skipped because no deltas arrived
+        self._epochs_skipped = 0
+        self._last_epoch_version: Optional[int] = None
+        #: heartbeat firings (drops when wake-up skipping is active)
+        self._heartbeats = 0
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -285,12 +312,27 @@ class Simulation:
     def _heartbeat(self) -> None:
         """Periodic scheduling epochs (§3: the job scheduler runs
         periodically, on top of the event-driven triggers)."""
+        self._heartbeats += 1
         if self.pending:
             self.trigger_schedule()
         if self.pending or self.running or self.engine.now < self._last_arrival:
-            self.engine.schedule_after(
-                max(60.0, self.config.scheduler_interval), self._heartbeat
-            )
+            delay = max(60.0, self.config.scheduler_interval)
+            when = self.engine.now + delay
+            if self.view is not None:
+                # Skip redundant wake-ups: heartbeat firings strictly
+                # before the next heap event see unchanged state and do
+                # nothing (any pending job implies a coalesced tick in
+                # the heap no later than now + delay), so jump straight
+                # to the first grid point not before that event.  The
+                # grid is walked by repeated addition because that is the
+                # exact float sequence chained schedule_after calls
+                # produce — a closed form would drift by ULPs and shift
+                # every later timestamp.
+                nxt = self.engine.peek_next_time()
+                if nxt is not None:
+                    while when < nxt:
+                        when = when + delay
+            self.engine.schedule(when, self._heartbeat)
 
     # ------------------------------------------------------------------
     # event handlers
@@ -302,6 +344,8 @@ class Simulation:
                 # oracle duration (§3: profiling happens at enqueue)
                 job.estimate_error = self.profiler.estimate_error(job.spec)
             self.pending.append(job)
+            if self.view is not None:
+                self.view.note_queue_change()
             hour = int(self.engine.now // 3600)
             self._hour_submissions[hour] = self._hour_submissions.get(hour, 0) + 1
             job._arrival_hour = hour  # noqa: SLF001 - simulator-private
@@ -329,7 +373,18 @@ class Simulation:
         self._last_tick = self.engine.now
         self.log(EventKind.SCHEDULE_EPOCH, detail=len(self.pending))
         with self.obs.phases.phase(PHASE_SCHEDULER_TICK):
-            self.policy.schedule(self)
+            if self._can_skip_epoch():
+                # No deltas since the last epoch and the policy is
+                # epoch-idempotent: re-running would provably repeat the
+                # same (non-)decisions.  The epoch is still logged and
+                # the bookkeeping below still runs, so activity logs and
+                # metrics are identical to the non-skipping path.
+                self._epochs_skipped += 1
+                self.metrics.registry.counter("sim.epochs_skipped").inc()
+            else:
+                self.policy.schedule(self)
+                if self.view is not None:
+                    self._last_epoch_version = self.view.version
         # First-attempt bookkeeping for the Fig. 2 queuing ratio.
         for job in self.pending:
             if job.job_id not in self._first_attempt_seen:
@@ -342,6 +397,42 @@ class Simulation:
             # Nothing left to do: cut the run short (samplers would
             # otherwise keep the heap alive forever).
             self.engine.stop()
+
+    def _can_skip_epoch(self) -> bool:
+        """Whether this epoch is provably a no-op.
+
+        Requires an epoch-idempotent policy, an unchanged ClusterView
+        version since the last executed epoch, and no active fault
+        machinery (transient launch gates could make a retry succeed
+        where the last epoch failed)."""
+        return (
+            self.view is not None
+            and getattr(self.policy, "epoch_idempotent", False)
+            and self._last_epoch_version is not None
+            and self._last_epoch_version == self.view.version
+            and self.fault_injector is None
+            and not self.degraded_servers
+        )
+
+    def placement_engine(self, opportunistic: bool = False) -> PlacementEngine:
+        """The persistent, view-fed placement engine for this simulation.
+
+        One engine per opportunistic flag lives for the whole run (the
+        engine is stateless apart from configuration, so persistence is
+        safe); its clock is refreshed on every call.
+        """
+        engine = self._engines.get(opportunistic)
+        if engine is None:
+            engine = PlacementEngine(
+                self.cluster,
+                special_elastic_grouping=self.config.special_elastic_grouping,
+                opportunistic=opportunistic,
+                rm=self.rm,
+                view=self.view,
+            )
+            self._engines[opportunistic] = engine
+        engine.now = self.now
+        return engine
 
     def _sampler(self) -> None:
         now = self.engine.now
@@ -425,6 +516,8 @@ class Simulation:
                 f"< base demand {job.spec.min_workers}"
             )
         self.pending.remove(job)
+        if self.view is not None:
+            self.view.note_queue_change()
         job.mark_started(self.now)
         self._apply_tuning(job)
         if self.degraded_servers:
@@ -526,6 +619,8 @@ class Simulation:
             self._completion_epoch.get(job.job_id, 0) + 1
         )
         self.pending.append(job)
+        if self.view is not None:
+            self.view.note_queue_change()
         self.metrics.preemptions += 1
         self.log(EventKind.PREEMPT, job.job_id, cause=cause, workers=workers)
         logger.debug("job %d preempted at %.0f (cause=%s)",
@@ -588,6 +683,10 @@ class Simulation:
             self.record_failure_noop("already_unhealthy", server_id)
             return False
         report = self.rm.fail_node(server_id, now=self.now)
+        if self.view is not None:
+            # node health lives in the RM, not the GPU books — force
+            # consumers (placement health filter) to revisit
+            self.view.bump()
         self.metrics.node_failures += 1
         self._fail_times[server_id] = self.now
         self.trace(
@@ -629,6 +728,8 @@ class Simulation:
 
     def _node_recovery(self, server_id: str) -> None:
         self.rm.recover_node(server_id, now=self.now)
+        if self.view is not None:
+            self.view.bump()
         failed_at = self._fail_times.pop(server_id, None)
         if failed_at is not None:
             self.metrics.registry.histogram(
@@ -647,6 +748,9 @@ class Simulation:
         throughput (None restores full speed) and re-time every running
         job it hosts."""
         server = self.rm._server(server_id)
+        if self.view is not None:
+            # perf_factor feeds the placement sort order
+            self.view.bump()
         if factor is None:
             self.degraded_servers.pop(server_id, None)
             if server is not None:

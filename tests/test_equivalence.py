@@ -1,0 +1,164 @@
+"""Equivalence: incremental-view mode vs the legacy full-scan path.
+
+The ClusterView refactor must be an *observationally invisible*
+optimisation: every seeded scenario — one per scheduler family, plus
+orchestrated loaning/reclaiming and node-failure runs — must produce a
+byte-identical Activity log whether the simulator maintains the
+incremental view (``incremental_view=True``, the default) or recomputes
+everything from scratch each epoch (``incremental_view=False``, the
+pre-refactor behaviour, kept as the reference implementation).
+
+A golden-log fixture (``tests/data/golden_logs.json``, digests generated
+from the legacy path) additionally pins both modes against silent drift
+across future changes: regenerate it with
+``python -m tests.test_equivalence`` only when a PR *intends* to change
+scheduling behaviour.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.core.orchestrator import ResourceOrchestrator
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.agnostic import LyraAgnosticScheduler
+from repro.schedulers.fifo import (
+    FIFOScheduler,
+    OpportunisticScheduling,
+    SJFScheduler,
+)
+from repro.schedulers.gandiva import GandivaScheduler
+from repro.schedulers.lyra import LyraScheduler
+from repro.schedulers.pollux import PolluxScheduler
+from repro.simulator.simulation import DAY, Simulation, SimulationConfig
+from repro.traces.inference import generate_inference_trace
+from repro.traces.workload import TraceConfig, generate_workload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_logs.json"
+
+#: name -> (policy factory, simulation kwargs)
+SCENARIOS = {
+    "fifo_contention": (FIFOScheduler, {}),
+    "sjf": (SJFScheduler, {}),
+    "lyra_elastic": (LyraScheduler, {}),
+    "lyra_loaning": (LyraScheduler, {"orchestrated": True, "load": 4.0}),
+    "lyra_inelastic": (LyraScheduler, {"elastic": False}),
+    "gandiva": (GandivaScheduler, {}),
+    "afs": (AFSScheduler, {}),
+    "pollux_seeded": (
+        lambda: PolluxScheduler(generations=10, population=8, seed=1),
+        {},
+    ),
+    "agnostic_loaning": (
+        LyraAgnosticScheduler,
+        {"orchestrated": True, "load": 4.0},
+    ),
+    "opportunistic": (
+        OpportunisticScheduling,
+        {"inference": True, "drain_days": 3.0},
+    ),
+    "node_failures": (
+        LyraScheduler,
+        {"orchestrated": True, "node_mtbf": 30000.0, "load": 1.6},
+    ),
+}
+
+
+def run_scenario(name: str, incremental: bool) -> Simulation:
+    policy_fn, opts = SCENARIOS[name]
+    specs = generate_workload(
+        TraceConfig(
+            num_jobs=90,
+            days=1.0,
+            cluster_gpus=48,
+            seed=7,
+            target_load=opts.get("load", 0.8),
+        )
+    ).specs
+    pair = ClusterPair(make_training_cluster(6), make_inference_cluster(8))
+    orchestrated = opts.get("orchestrated", False)
+    trace = (
+        generate_inference_trace(days=2.0, num_servers=8, seed=3)
+        if orchestrated or opts.get("inference")
+        else None
+    )
+    config = SimulationConfig(
+        record_activities=True,
+        incremental_view=incremental,
+        elastic=opts.get("elastic", True),
+        node_mtbf=opts.get("node_mtbf"),
+        drain_limit=opts.get("drain_days", 30.0) * DAY,
+    )
+    sim = Simulation(
+        specs,
+        pair,
+        policy_fn(),
+        inference_trace=trace,
+        orchestrator=ResourceOrchestrator() if orchestrated else None,
+        config=config,
+    )
+    sim.run()
+    return sim
+
+
+def digest(activities) -> str:
+    """Canonical, repr-exact digest of an Activity log."""
+    h = hashlib.sha256()
+    for a in activities:
+        h.update(
+            f"{a.time!r}|{a.kind.value}|{a.job_id!r}|{a.detail!r}\n".encode()
+        )
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_modes_produce_identical_logs(name, golden):
+    legacy = run_scenario(name, incremental=False)
+    fast = run_scenario(name, incremental=True)
+    assert legacy.activities == fast.activities
+    d = digest(fast.activities)
+    assert d == digest(legacy.activities)
+    entry = golden[name]
+    assert len(fast.activities) == entry["events"]
+    assert d == entry["sha256"], (
+        f"scenario {name!r} drifted from the committed golden log; if the "
+        f"behaviour change is intentional, regenerate the fixture with "
+        f"`python -m tests.test_equivalence`"
+    )
+    # the fast mode must actually be exercising its machinery
+    assert fast.view is not None
+    fast.view.assert_consistent()
+
+
+def _regenerate() -> None:
+    fixture = {}
+    for name in sorted(SCENARIOS):
+        sim = run_scenario(name, incremental=False)
+        fixture[name] = {
+            "events": len(sim.activities),
+            "sha256": digest(sim.activities),
+        }
+        print(f"{name:18s} {fixture[name]['events']:6d} events "
+              f"{fixture[name]['sha256'][:16]}")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(fixture, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate()
