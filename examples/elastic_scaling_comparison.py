@@ -28,7 +28,7 @@ def worked_example() -> None:
     decision = allocate_two_phase([job_a, job_b], [], Pools(training=8))
     extra_a = decision.flex[1]
     extra_b = decision.flex[2]
-    print(f"  base demands admitted: A=2 workers, B=2 workers")
+    print("  base demands admitted: A=2 workers, B=2 workers")
     print(f"  phase-two grants: A +{extra_a} worker(s), B +{extra_b}")
     jct_a = job_a.remaining_time_at(2 + extra_a)
     jct_b = job_b.remaining_time_at(2 + extra_b)

@@ -11,6 +11,10 @@ Commands:
   and print the resilience snapshot (goodput, lost GPU-hours by cause,
   time-to-recover).  Seeded: identical arguments give byte-identical
   ``--json`` output.
+* ``whatif``   — run a loaning scheme up to a point in time, then price
+  a hypothetical reclaim plan (preemptions, lost GPU-hours, per-server
+  preemption cost) as a dry run that provably leaves the simulation
+  untouched.
 * ``compare``  — run several schemes on the same trace, print a table.
 * ``trace``    — generate a synthetic trace and describe (or export) it.
 * ``inspect``  — summarize an exported event trace (phase timings,
@@ -39,6 +43,7 @@ from repro.obs import (
 from repro.scenarios import (
     SCENARIOS,
     SCHEMES,
+    build_sim,
     default_setup,
     run_scheme,
 )
@@ -147,6 +152,34 @@ def _print_metrics(name: str, metrics: SimulationMetrics) -> None:
           f"reclaims {data['reclaim_ops']}")
 
 
+def _print_plan_summary(sim) -> None:
+    """Summarize the recorded decision plans of a finished run."""
+    plans = sim.plan_log
+    executor = sim.executor
+    print(f"  plans    applied {executor.plans_applied}   "
+          f"rejected {executor.plans_rejected}   "
+          f"actions {executor.actions_applied}   "
+          f"recorded {len(plans)} non-empty")
+    if not plans:
+        return
+    by_kind: dict = {}
+    preemptions = 0
+    gpus_moved = 0
+    for entry in plans:
+        for kind, count in entry.get("by_kind", {}).items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        pricing = entry.get("pricing") or {}
+        preemptions += pricing.get("preemptions", 0)
+        gpus_moved += pricing.get("gpus_moved", 0)
+    kinds = "   ".join(f"{k} {n}" for k, n in sorted(by_kind.items()))
+    print(f"  actions  {kinds}")
+    print(f"  cost     preemptions {preemptions}   "
+          f"gpus moved {gpus_moved}")
+    last = plans[-1]
+    print(f"  last     t={last['now']:,.0f} policy={last['policy']} "
+          f"{len(last['actions'])} action(s)")
+
+
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
@@ -161,25 +194,36 @@ def cmd_run(args) -> int:
     if getattr(args, "trace", None):
         obs = Observability.enabled()
     sim_overrides = _fault_overrides(args)
-    metrics = run_scheme(
+    explain = getattr(args, "explain", False)
+    if explain:
+        sim_overrides["record_plans"] = True
+    sim = build_sim(
         setup, args.scheme, scenario=args.scenario, seed=args.seed,
         scaling_model=args.scaling_model, specs=specs, obs=obs,
         sim_overrides=sim_overrides or None,
     )
+    metrics = sim.run()
     if args.json:
         data = _metrics_dict(metrics)
-        if sim_overrides:
+        if sim_overrides and not (
+            len(sim_overrides) == 1 and explain
+        ):
             from repro.faults import resilience_snapshot
 
             data["resilience"] = resilience_snapshot(
                 metrics, plan=sim_overrides.get("fault_plan")
             )
-        print(json.dumps(data, indent=2, sort_keys=bool(sim_overrides)))
+        if explain:
+            data["plans"] = sim.plan_log
+        print(json.dumps(data, indent=2,
+                         sort_keys="resilience" in data))
     else:
         _print_metrics(args.scheme, metrics)
-        if sim_overrides:
+        if sim_overrides and not (len(sim_overrides) == 1 and explain):
             print(f"  faults   node failures {metrics.node_failures}   "
                   f"preemptions {metrics.preemptions}")
+        if explain:
+            _print_plan_summary(sim)
     if obs is not None:
         records = obs.export_trace(args.trace, format=args.trace_format)
         print(f"wrote {records} trace records to {args.trace} "
@@ -263,6 +307,74 @@ def cmd_chaos(args) -> int:
     if obs is not None:
         records = obs.export_trace(args.trace, format=args.trace_format)
         print(f"wrote {records} trace records to {args.trace}")
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    """Price a hypothetical reclaim plan mid-run without applying it.
+
+    Runs the scheme up to ``--at`` seconds, asks the orchestrator to
+    plan reclaiming ``--demand`` on-loan servers, and dry-runs the plan
+    through the executor: the output is what the reclaim *would* cost
+    (preemptions, per-server preemption cost, collateral GPUs) with the
+    simulation state provably untouched.
+    """
+    wiring = SCHEMES[args.scheme]
+    if not wiring.get("loaning", False):
+        print(f"scheme {args.scheme!r} has no resource orchestrator; "
+              f"pick a loaning scheme (e.g. lyra, lyra_loaning)",
+              file=sys.stderr)
+        return 2
+    setup = _make_setup(args)
+    sim = build_sim(setup, args.scheme, scenario=args.scenario,
+                    seed=args.seed)
+    sim.run(until=args.at)
+    loaned = sim.pair.loaned_count
+    before = (
+        len(sim.activities), len(sim.running), len(sim.pending),
+        loaned, sim.metrics.scale_ops,
+    )
+    plan = sim.orchestrator.plan_reclaim(sim, args.demand)
+    receipt = sim.executor.apply(plan, dry_run=True)
+    after = (
+        len(sim.activities), len(sim.running), len(sim.pending),
+        sim.pair.loaned_count, sim.metrics.scale_ops,
+    )
+    if before != after:
+        raise AssertionError(
+            f"dry-run mutated the simulation: {before} -> {after}")
+    sim.rm.verify_books()
+    if sim.view is not None:
+        sim.view.assert_consistent()
+    payload = {
+        "at": sim.now,
+        "scheme": args.scheme,
+        "loaned_servers": loaned,
+        "demand": args.demand,
+        "plan": plan.to_dict(),
+        "pricing": receipt.pricing,
+        "state_changed": False,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"[whatif {args.scheme} @ t={sim.now:,.0f}s]  "
+          f"{loaned} server(s) on loan, reclaim demand {args.demand}")
+    pricing = receipt.pricing
+    if not plan.actions:
+        print("  plan     empty — nothing on loan to reclaim")
+        return 0
+    kinds = "   ".join(
+        f"{k} {n}" for k, n in sorted(plan.by_kind().items())
+    )
+    print(f"  plan     {len(plan.actions)} action(s): {kinds}")
+    print(f"  cost     preemptions {pricing['preemptions']}   "
+          f"preemption cost {pricing['preemption_cost']:.4f}   "
+          f"lost {pricing['lost_gpu_hours']:.4f} GPUh")
+    print(f"  moves    gpus {pricing['gpus_moved']}   "
+          f"servers reclaimed {pricing['servers_reclaimed']}   "
+          f"jobs affected {pricing['jobs_affected']}")
+    print("  state    unchanged (dry run)")
     return 0
 
 
@@ -411,6 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scaling-model", default="linear",
                        choices=["linear", "sublinear20"])
     run_p.add_argument("--json", action="store_true")
+    run_p.add_argument("--explain", action="store_true",
+                       help="record every applied decision plan and print "
+                            "a summary (with --json, the full plan log "
+                            "under \"plans\")")
     run_p.add_argument("--replay",
                        help="replay a saved workload trace (.json/.csv) "
                             "instead of generating one")
@@ -452,6 +568,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--trace-format", default="jsonl",
                          choices=["jsonl", "chrome"])
     chaos_p.set_defaults(func=cmd_chaos)
+
+    whatif_p = sub.add_parser(
+        "whatif",
+        help="price a hypothetical reclaim plan mid-run (dry run)",
+    )
+    _add_setup_args(whatif_p)
+    whatif_p.add_argument("--scheme", default="lyra",
+                          choices=sorted(SCHEMES))
+    whatif_p.add_argument("--scenario", default="basic", choices=SCENARIOS)
+    whatif_p.add_argument("--at", type=float, default=21600.0,
+                          metavar="SECONDS",
+                          help="simulation time at which to pose the "
+                               "what-if (default: 6h in)")
+    whatif_p.add_argument("--demand", type=int, default=2,
+                          help="on-loan servers the inference side "
+                               "hypothetically asks back")
+    whatif_p.add_argument("--json", action="store_true")
+    whatif_p.set_defaults(func=cmd_whatif)
 
     cmp_p = sub.add_parser("compare", help="run several schemes")
     _add_setup_args(cmp_p)

@@ -9,7 +9,7 @@ cluster together and implements the loan/return primitive.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.gpu import GPUType, T4, V100
 from repro.cluster.server import Server
@@ -197,6 +197,33 @@ class ClusterPair:
             if eligible is not None and not eligible(server):
                 continue
             self.inference.remove_server(server.server_id)
+            server.on_loan = True
+            self.training.add_server(server)
+            moved.append(server)
+        return moved
+
+    def loan_ids(self, server_ids: Sequence[str]) -> List[Server]:
+        """Loan the *named* idle inference servers, in the given order.
+
+        The decision-plan counterpart of :meth:`loan`: the orchestrator
+        picks the ids when planning (via
+        :meth:`~repro.rm.manager.ResourceManager.peek_loanable`) and the
+        executor moves exactly those at commit, preserving the whitelist
+        insertion order the count-based path would have produced.
+        """
+        moved: List[Server] = []
+        for server_id in server_ids:
+            if server_id not in self.inference:
+                raise ValueError(
+                    f"server {server_id!r} is not in the inference whitelist"
+                )
+            server = self.inference.get(server_id)
+            if not server.idle:
+                raise ValueError(
+                    f"server {server_id!r} is busy; only idle servers "
+                    f"can be loaned"
+                )
+            self.inference.remove_server(server_id)
             server.on_loan = True
             self.training.add_server(server)
             moved.append(server)

@@ -17,6 +17,14 @@ import math
 import random
 from typing import Callable, Optional
 
+from repro.core.actions import (
+    EpochPlan,
+    LoanServers,
+    PlanExecutor,
+    Preempt,
+    ReclaimServers,
+    ScaleIn,
+)
 from repro.core.reclaim import (
     ReclaimPlan,
     plan_reclaim_lyra,
@@ -26,7 +34,6 @@ from repro.core.reclaim import (
 )
 from repro.obs import get_logger
 from repro.obs.profiling import PHASE_ORCH_TICK, PHASE_RECLAIM_PLAN
-from repro.simulator.events import EventKind
 
 RECLAIMERS = ("lyra", "random", "scf")
 
@@ -205,8 +212,8 @@ class ResourceOrchestrator:
         # one orchestrator interval for hardware.
         return need + max(1, need // 4) if need else 0
 
-    def tick(self, sim: "Simulation") -> None:
-        """One orchestrator interval: loan out or reclaim back.
+    def plan_tick(self, sim: "Simulation") -> EpochPlan:
+        """Plan one orchestrator interval: loan out or reclaim back.
 
         The raw loanable *supply* is smoothed with a median-of-3 filter —
         the 2 % headroom exists precisely to absorb sub-interval traffic
@@ -214,11 +221,34 @@ class ResourceOrchestrator:
         (nor should matching dips trigger loans).  The amount actually
         borrowed is additionally capped by the training side's current
         demand, so on-loan servers stay productive (Fig. 9).
+
+        Nothing is moved here: the decisions come back as an
+        :class:`~repro.core.actions.EpochPlan` of declarative
+        ``LoanServers`` / ``ScaleIn`` / ``Preempt`` / ``ReclaimServers``
+        actions the simulation commits through its
+        :class:`~repro.core.actions.PlanExecutor` (or prices dry-run).
         """
         with sim.phase(PHASE_ORCH_TICK):
-            self._tick(sim)
+            actions = self._plan_actions(sim)
+        return EpochPlan(
+            now=sim.now,
+            policy=f"orchestrator:{self.reclaimer}",
+            actions=tuple(actions),
+        )
 
-    def _tick(self, sim: "Simulation") -> None:
+    def tick(self, sim: "Simulation") -> None:
+        """Legacy entry point: plan one interval and apply it immediately.
+
+        Kept for direct callers (tests, harnesses); the simulator itself
+        calls :meth:`plan_tick` and commits through its own executor.
+        """
+        plan = self.plan_tick(sim)
+        executor = getattr(sim, "executor", None)
+        if executor is None:
+            executor = PlanExecutor(sim)
+        executor.apply(plan)
+
+    def _plan_actions(self, sim: "Simulation") -> list:
         self._target_history.append(self.target_loanable(sim))
         recent = self._target_history[-3:]
         supply = sorted(recent)[len(recent) // 2]
@@ -227,45 +257,48 @@ class ResourceOrchestrator:
         if target > current:
             self._surplus_ticks = 0
             if self._degraded_tick and self.freeze_loans_when_degraded:
-                return  # degraded posture: reclaim only, no new loans
-            moved = sim.rm.loan_servers(target - current, now=sim.now)
-            if moved:
-                server_ids = [s.server_id for s in moved]
-                sim.metrics.loan_ops.append(len(moved))
-                sim.log(EventKind.LOAN, detail=server_ids,
-                        servers=server_ids, requested=target - current)
-                logger.debug("loaned %d servers at %.0f",
-                             len(moved), sim.now)
-                sim.trigger_schedule()
-        elif supply < current:
+                return []  # degraded posture: reclaim only, no new loans
+            ids = sim.rm.peek_loanable(target - current)
+            if ids:
+                return [LoanServers(server_ids=tuple(ids),
+                                    requested=target - current)]
+            return []
+        if supply < current:
             # Inference-driven: the lender wants servers back now.
             self._surplus_ticks = 0
-            self._reclaim(sim, current - supply, record_metrics=True)
-        elif target < current:
+            return self._plan_reclaim_actions(
+                sim, current - supply, record_metrics=True
+            )
+        if target < current:
             # Demand-driven surplus: return idle servers only after the
             # surplus persists a few intervals (avoids loan/return
             # thrash around scheduling epochs).
             self._surplus_ticks += 1
             if self._surplus_ticks >= 3:
                 self._surplus_ticks = 0
-                self._reclaim(sim, current - target, record_metrics=False)
-        else:
-            self._surplus_ticks = 0
+                return self._plan_reclaim_actions(
+                    sim, current - target, record_metrics=False
+                )
+            return []
+        self._surplus_ticks = 0
+        return []
 
     # ------------------------------------------------------------------
-    def _route_around(self, sim: "Simulation", demand: int) -> list:
-        """Return unhealthy/straggling on-loan servers ahead of the plan.
+    def _plan_route_around(self, sim: "Simulation", demand: int) -> list:
+        """Pick unhealthy/straggling on-loan servers to return ahead of
+        the plan.
 
         Bad hardware is the cheapest thing to give back: a failed server
         hosts nothing (its containers died with it) and a straggler is
-        dragging its jobs down anyway.  Vacant ones are returned
-        immediately; whatever demand remains is planned over the healthy
-        candidates.  With no faults injected this scans and returns
-        nothing.
+        dragging its jobs down anyway.  Vacant ones are selected for
+        immediate return; whatever demand remains is planned over the
+        healthy candidates.  With no faults injected this scans and
+        selects nothing.  Returns ``(server_id, unhealthy, straggling)``
+        triples; the scan is pure — the executor does the returning.
         """
-        returned = []
-        for server in list(sim.pair.training.on_loan_servers):
-            if len(returned) >= demand:
+        picked = []
+        for server in sim.pair.training.on_loan_servers:
+            if len(picked) >= demand:
                 break
             server_id = server.server_id
             unhealthy = not sim.rm.is_healthy(server_id)
@@ -274,18 +307,23 @@ class ResourceOrchestrator:
                 continue
             if sim.rm.containers_on(server_id):
                 continue  # still hosts workers; leave it to the planner
-            sim.rm.return_server(server_id, now=sim.now)
-            returned.append(server_id)
-            sim.trace(
-                "recovery.reclaim_route_around", server_id=server_id,
-                unhealthy=unhealthy, straggling=straggling,
-            )
-        return returned
+            picked.append((server_id, unhealthy, straggling))
+        return picked
 
-    def _plan(self, sim: "Simulation", demand: int) -> ReclaimPlan:
+    def _plan(self, sim: "Simulation", demand: int,
+              exclude: tuple = ()) -> ReclaimPlan:
+        """Delegate server selection to the configured reclaim planner.
+
+        ``exclude`` holds server ids a route-around action earlier in the
+        same plan will already have returned by the time this plan's
+        selection commits — they are no longer candidates (the legacy
+        path returned them before planning; healthy stragglers would
+        otherwise be counted twice).
+        """
+        skip = set(exclude)
         candidates = [
             s for s in sim.pair.training.on_loan_servers
-            if sim.rm.is_healthy(s.server_id)
+            if s.server_id not in skip and sim.rm.is_healthy(s.server_id)
         ]
         if self.reclaimer == "random":
             return plan_reclaim_random(candidates, sim.jobs, demand, rng=self.rng)
@@ -295,97 +333,108 @@ class ResourceOrchestrator:
             candidates, sim.jobs, demand, scale_in_first=self.scale_in_first
         )
 
-    def _reclaim(self, sim: "Simulation", demand: int,
-                 record_metrics: bool = True) -> None:
-        routed = self._route_around(sim, demand)
-        if routed:
-            if record_metrics:
-                sim.metrics.reclaim_ops.append(len(routed))
-            sim.trigger_schedule()
-            demand -= len(routed)
+    def _plan_reclaim_actions(
+        self,
+        sim: "Simulation",
+        demand: int,
+        record_metrics: bool = True,
+        with_costs: Optional[bool] = None,
+    ) -> list:
+        """Turn one reclaim demand into a declarative action sequence.
+
+        Ordering mirrors the legacy execution exactly: route-around
+        returns first, then per-job scale-ins (no preemption), then the
+        plan's preemptions, then the server returns with the planner's
+        metrics snapshot (demand, free servers, collateral, per-server
+        preemption costs) attached for the RECLAIM log.
+        """
+        actions: list = []
+        health = self._plan_route_around(sim, demand)
+        routed_ids: tuple = ()
+        if health:
+            routed_ids = tuple(sid for sid, _, _ in health)
+            actions.append(ReclaimServers(
+                server_ids=routed_ids, demand=demand, route_around=True,
+                health=tuple(health), record_metrics=record_metrics,
+            ))
+            demand -= len(health)
             if demand <= 0:
-                return
+                return actions
         with sim.phase(PHASE_RECLAIM_PLAN):
-            plan = self._plan(sim, demand)
+            plan = self._plan(sim, demand, exclude=routed_ids)
         if not plan.servers:
-            return
-        # Per-server preemption costs (Table 1's metric), captured for
-        # the trace before executing the plan mutates the placements.
+            return actions
+        # Per-server preemption costs (Table 1's metric), captured at
+        # plan time while the placements the costs describe still exist.
+        if with_costs is None:
+            with_costs = sim.tracer.enabled
         costs = None
-        if sim.tracer.enabled:
+        if with_costs:
             view = getattr(sim, "view", None)
             if view is not None:
                 # served from the view's cached per-server job-fraction
                 # index (rebuilt only when a delta arrived)
-                costs = {
-                    sid: round(view.reclaim_cost(sid), 4)
+                costs = tuple(
+                    (sid, round(view.reclaim_cost(sid), 4))
                     for sid in plan.servers
                     if sid in sim.pair.training
-                }
+                )
             else:
-                costs = {
-                    sid: round(
+                costs = tuple(
+                    (sid, round(
                         server_preemption_cost(sim.pair.training.get(sid),
                                                sim.jobs), 4,
-                    )
+                    ))
                     for sid in plan.servers
                     if sid in sim.pair.training
-                }
+                )
         # 1. Scale elastic jobs in (no preemption).
         for job_id, per_server in plan.scaled_in.items():
-            job = sim.jobs[job_id]
             if job_id in sim.running:
-                sim.scale_in_worker_counts(job, per_server)
+                actions.append(ScaleIn(
+                    job_id=job_id, removals=tuple(per_server.items()),
+                    workers=0, delta=0, eta=0.0, staged=False,
+                ))
         # 2. Preempt the jobs the plan sacrificed.
         for job_id in plan.preempted_jobs:
             if job_id in sim.running:
-                sim.preempt(sim.jobs[job_id], cause="reclaim")
-        # 3. Return the vacated servers; force-clear any stragglers the
-        #    planner's model missed (defensive - should not trigger).
-        returned = 0
-        gpus_per_server = 0
-        for server_id in plan.servers:
-            if server_id not in sim.pair.training:
-                continue
-            server = sim.pair.training.get(server_id)
-            for job_id in list(server.allocations):
-                if job_id in sim.running:
-                    sim.preempt(sim.jobs[job_id], cause="reclaim")
-                    plan.preempted_jobs.add(job_id)
-                else:  # released placement left behind: clean up
-                    server.release(job_id)
-            gpus_per_server = server.num_gpus
-            sim.rm.return_server(server_id, now=sim.now)
-            returned += 1
-        collateral_frac = None
-        if gpus_per_server:
-            collateral_frac = plan.collateral_gpus / (demand * gpus_per_server)
-        if returned and record_metrics:
-            sim.metrics.reclaim_ops.append(returned)
-            sim.metrics.flex_satisfied.append(
-                min(1.0, plan.free_servers / demand)
+                actions.append(Preempt(job_id=job_id, cause="reclaim"))
+        # 3. Return the vacated servers, metrics snapshot attached.
+        actions.append(ReclaimServers(
+            server_ids=tuple(plan.servers),
+            demand=demand,
+            preempted=tuple(plan.preempted_jobs),
+            scaled_in=tuple(sorted(plan.scaled_in)),
+            free_servers=plan.free_servers,
+            collateral_gpus=plan.collateral_gpus,
+            costs=costs,
+            record_metrics=record_metrics,
+        ))
+        return actions
+
+    def plan_reclaim(self, sim: "Simulation", demand: int,
+                     record_metrics: bool = True) -> EpochPlan:
+        """Plan reclaiming ``demand`` on-loan servers, without applying.
+
+        The what-if entry point (``repro whatif``): always prices
+        per-server preemption costs regardless of tracing, and never
+        touches the loan/return state — apply the returned plan with
+        ``dry_run=True`` to get its cost without moving anything.  Note
+        the Random reclaimer draws from the orchestrator's RNG even when
+        planning, so a priced-but-discarded plan advances that stream.
+        """
+        if demand <= 0:
+            return EpochPlan(
+                now=sim.now,
+                policy=f"orchestrator:{self.reclaimer}",
+                actions=(),
             )
-            if collateral_frac is not None:
-                sim.metrics.collateral.append(collateral_frac)
-        if returned:
-            sim.log(
-                EventKind.RECLAIM,
-                detail={
-                    "servers": plan.servers,
-                    "preempted": sorted(plan.preempted_jobs),
-                },
-                demand=demand,
-                servers=list(plan.servers),
-                preempted=sorted(plan.preempted_jobs),
-                scaled_in=sorted(plan.scaled_in),
-                free_servers=plan.free_servers,
-                collateral=collateral_frac,
-                preemption_costs=costs,
-                inference_driven=record_metrics,
+        with sim.phase(PHASE_ORCH_TICK):
+            actions = self._plan_reclaim_actions(
+                sim, demand, record_metrics=record_metrics, with_costs=True
             )
-            logger.info(
-                "reclaimed %d/%d servers at %.0f (%d preemptions, "
-                "%d scale-ins)", returned, demand, sim.now,
-                len(plan.preempted_jobs), len(plan.scaled_in),
-            )
-            sim.trigger_schedule()
+        return EpochPlan(
+            now=sim.now,
+            policy=f"orchestrator:{self.reclaimer}",
+            actions=tuple(actions),
+        )

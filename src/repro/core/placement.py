@@ -249,6 +249,11 @@ class PlacementEngine:
                     and job.elastic
                     and not job.spec.heterogeneous
                 ):
+                    journal = getattr(self.rm, "journal", None)
+                    if journal is not None:
+                        # group assignment is outside the RM's books; give
+                        # the plan journal its pre-image for rollback
+                        journal.record_group(server)
                     server.group = FLEX_GROUP if flexible else BASE_GROUP
                 remaining -= fit
                 placed_this_round += fit

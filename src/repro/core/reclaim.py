@@ -348,7 +348,6 @@ def plan_reclaim_optimal(
             f"{max_candidates}"
         )
     count = min(count, len(candidates))
-    candidate_ids = {s.server_id for s in candidates}
 
     def evaluate(subset: Tuple[Server, ...]) -> Optional[ReclaimPlan]:
         plan = _plan_from_order(list(subset), jobs, len(subset))

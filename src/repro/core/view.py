@@ -374,3 +374,9 @@ class ClusterView:
                 f"  incremental: {live[field]!r}\n"
                 f"  rebuilt:     {fresh[field]!r}"
             )
+        cost = self.onloan_cost()
+        assert cost >= 1.0, (
+            f"on-loan cost {cost!r} < 1.0: the §5.2 weakest-type "
+            f"normalization guarantees at least one physical GPU per "
+            f"normalized GPU — the GPU-type index is corrupt"
+        )

@@ -33,6 +33,19 @@ class ElasticControllerError(RuntimeError):
     """A scaling request violated the controller protocol."""
 
 
+def check_scale_floor(job_id: int, workers: int, min_workers: int) -> None:
+    """Static form of the scale-in floor :meth:`ElasticController.leave`
+    enforces per worker: a running job may never shrink below its
+    gang-scheduled base demand — that would stall it.  Used by the plan
+    executor to validate ``ScaleIn`` actions before committing a plan.
+    """
+    if workers < min_workers:
+        raise ElasticControllerError(
+            f"job {job_id}: scaling in to {workers} workers would drop "
+            f"below base demand {min_workers}; preempt the job instead"
+        )
+
+
 @dataclass
 class ElasticController:
     """Coordinates worker membership for one elastic job.

@@ -15,7 +15,7 @@ that introduced them.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.faults.audit import audit_simulation
 from repro.faults.plan import FaultPlan, Straggler

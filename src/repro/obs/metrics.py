@@ -13,7 +13,7 @@ compute exact percentiles.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 

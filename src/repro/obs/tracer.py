@@ -35,6 +35,7 @@ CAT_ELASTIC = "elastic"
 CAT_META = "meta"
 CAT_FAULT = "fault"
 CAT_RECOVERY = "recovery"
+CAT_PLAN = "plan"
 
 #: The reserved name of the trailing aggregate record in JSONL exports.
 SUMMARY_EVENT = "trace.summary"

@@ -80,6 +80,10 @@ class ResourceManager:
         #: fault-injection hook: called after validation but before any
         #: mutation on each launch; may raise :class:`TransientLaunchError`
         self.launch_gate: Optional[Callable[[Job, Server, int], None]] = None
+        #: open plan transaction (:class:`repro.core.actions.PlanTransaction`)
+        #: journaling container/book mutations for rollback; None outside
+        #: an epoch being planned
+        self.journal = None
 
     # ------------------------------------------------------------------
     # queries
@@ -137,6 +141,8 @@ class ResourceManager:
             )
         if self.launch_gate is not None:
             self.launch_gate(job, server, workers)
+        if self.journal is not None:
+            self.journal.note_job(job)
         server.allocate(job.job_id, total)
         job.record_placement(
             server.server_id,
@@ -166,6 +172,8 @@ class ResourceManager:
             AuditRecord(now, "launch",
                         (job.job_id, server.server_id, workers, flexible))
         )
+        if self.journal is not None:
+            self.journal.record_launch(job, server, launched)
         return launched
 
     def _server(self, server_id: str) -> Optional[Server]:
@@ -176,22 +184,31 @@ class ResourceManager:
 
     def release_job(self, job: Job, now: float = 0.0) -> int:
         """Tear down every container of a job (completion/preemption)."""
+        if self.journal is not None:
+            self.journal.note_job(job)
         released = 0
+        stopped = []
         for container in self.containers_of(job.job_id):
             container.stop(now)
             server = self._server(container.server_id)
             if server is not None:
                 server.release(job.job_id, container.gpus)
+            stopped.append((server, container))
             released += 1
         job.clear_placement()
         self.audit.append(AuditRecord(now, "release_job", (job.job_id,)))
+        if stopped and self.journal is not None:
+            self.journal.record_stopped(job.job_id, stopped)
         return released
 
     def scale_in(
         self, job: Job, server_id: str, workers: int, now: float = 0.0
     ) -> int:
         """Release up to ``workers`` flexible containers on one server."""
+        if self.journal is not None:
+            self.journal.note_job(job)
         stopped = 0
+        stopped_pairs = []
         for container in self.containers_on(server_id):
             if stopped >= workers:
                 break
@@ -201,6 +218,7 @@ class ResourceManager:
             server = self._server(server_id)
             if server is not None:
                 server.release(job.job_id, container.gpus)
+            stopped_pairs.append((server, container))
             stopped += 1
         if stopped:
             have = job.flex_placement.get(server_id, 0)
@@ -212,6 +230,8 @@ class ResourceManager:
             self.audit.append(
                 AuditRecord(now, "scale_in", (job.job_id, server_id, stopped))
             )
+            if self.journal is not None:
+                self.journal.record_stopped(job.job_id, stopped_pairs)
         return stopped
 
     # ------------------------------------------------------------------
@@ -228,6 +248,89 @@ class ResourceManager:
                 AuditRecord(now, "loan", tuple(s.server_id for s in moved))
             )
         return moved
+
+    def peek_loanable(self, count: int) -> List[str]:
+        """The server ids :meth:`loan_servers` would move right now.
+
+        Pure read used when *planning* a loan: the commit later moves
+        exactly these ids via :meth:`loan_selected`, so the plan is
+        deterministic and the selection matches the legacy path's
+        (insertion-ordered idle inference servers, healthy only).
+        """
+        ids: List[str] = []
+        for server in self.pair.loanable_servers():
+            if len(ids) >= count:
+                break
+            if self.is_healthy(server.server_id):
+                ids.append(server.server_id)
+        return ids
+
+    def loan_selected(self, server_ids, now: float = 0.0) -> List[Server]:
+        """Whitelist-move the named idle inference servers to training."""
+        moved = self.pair.loan_ids(server_ids)
+        if moved:
+            self.audit.append(
+                AuditRecord(now, "loan", tuple(s.server_id for s in moved))
+            )
+        return moved
+
+    def migrate_job(
+        self, job: Job, source_id: str, target: Server, now: float = 0.0
+    ) -> int:
+        """Move every worker of ``job`` off ``source_id`` onto ``target``.
+
+        Containers are re-homed (not stopped and relaunched — the
+        production mechanic is a checkpoint/restore onto the new server,
+        which keeps the container identity for the books).  Returns the
+        number of workers moved.
+        """
+        moved = [
+            c for c in self.containers_of(job.job_id)
+            if c.server_id == source_id
+        ]
+        if not moved:
+            raise ValueError(
+                f"job {job.job_id} has no running containers on {source_id!r}"
+            )
+        if not self.is_healthy(target.server_id):
+            raise ValueError(f"server {target.server_id!r} is unhealthy")
+        total = sum(c.gpus for c in moved)
+        if total > target.free_gpus:
+            raise ValueError(
+                f"server {target.server_id}: need {total} GPUs, "
+                f"{target.free_gpus} free"
+            )
+        source = self._server(source_id)
+        base = job.base_placement.get(source_id, 0)
+        flex = job.flex_placement.get(source_id, 0)
+        gpu_cost = job._server_cost.get(source_id, job.spec.gpus_per_worker)
+        target.allocate(job.job_id, total)
+        if source is not None:
+            source.release(job.job_id, total)
+        for container in moved:
+            self._by_server[source_id].remove(container.container_id)
+            self._by_server.setdefault(target.server_id, []).append(
+                container.container_id
+            )
+            container.server_id = target.server_id
+        job.remove_placement(source_id)
+        if base:
+            job.record_placement(
+                target.server_id, base, flexible=False,
+                gpu_cost=gpu_cost, on_loan=target.on_loan,
+            )
+        if flex:
+            job.record_placement(
+                target.server_id, flex, flexible=True,
+                gpu_cost=gpu_cost, on_loan=target.on_loan,
+            )
+        self.audit.append(
+            AuditRecord(
+                now, "migrate",
+                (job.job_id, source_id, target.server_id, len(moved)),
+            )
+        )
+        return len(moved)
 
     def return_server(self, server_id: str, now: float = 0.0) -> Server:
         if self.containers_on(server_id):

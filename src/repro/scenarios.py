@@ -259,7 +259,7 @@ def make_policy(name: str, seed: int = 0, **kwargs) -> SchedulerPolicy:
     raise ValueError(f"unknown policy {name!r}")
 
 
-def run_scheme(
+def build_sim(
     setup: ExperimentSetup,
     scheme: str,
     scenario: str = "basic",
@@ -271,8 +271,8 @@ def run_scheme(
     sim_overrides: Optional[dict] = None,
     obs: Optional[Observability] = None,
     **policy_kwargs,
-) -> SimulationMetrics:
-    """Run one (scheme, scenario) cell and return its metrics.
+) -> Simulation:
+    """Wire one (scheme, scenario) cell into a ready-to-run Simulation.
 
     Args:
         setup: Workload + clusters bundle.
@@ -338,4 +338,19 @@ def run_scheme(
             if rng.random() < wrong_fraction:
                 job.estimate_error = 1.0 + rng.uniform(-max_error, max_error)
 
-    return sim.run()
+    return sim
+
+
+def run_scheme(
+    setup: ExperimentSetup,
+    scheme: str,
+    scenario: str = "basic",
+    **kwargs,
+) -> SimulationMetrics:
+    """Run one (scheme, scenario) cell and return its metrics.
+
+    A thin wrapper over :func:`build_sim` — the what-if tooling builds
+    the same simulation but stops it mid-run to price hypothetical
+    plans; every benchmark and example goes through here.
+    """
+    return build_sim(setup, scheme, scenario, **kwargs).run()

@@ -54,22 +54,22 @@ class AFSScheduler(SchedulerPolicy):
     def _growth_limit(self, job: Job) -> int:
         return job.spec.max_workers * _UNBOUNDED_FACTOR
 
-    def schedule(self, sim: "Simulation") -> None:
+    def decide(self, ctx: "PlanTransaction") -> None:
         # Base admission: arrival order with backfill (AFS admits each
         # job's minimum demand first, like Lyra - §7.4).
         ordered = self.sorted_pending(
-            sim, self.order_key, self.name + ":order"
+            ctx, self.order_key, self.name + ":order"
         )
-        self.admit_inelastically(sim, ordered)
+        self.admit_inelastically(ctx, ordered)
 
-        if not sim.config.elastic:
+        if not ctx.config.elastic:
             return
-        engine = self.make_engine(sim)
+        engine = self.make_engine(ctx)
         # Greedy marginal allocation, one worker at a time.
         while True:
             best: Optional[Job] = None
             best_gain = 0.0
-            for job in sim.running_elastic:
+            for job in ctx.running_elastic:
                 if job.total_workers >= self._growth_limit(job):
                     continue
                 gain = self._marginal_gain(job)
@@ -81,4 +81,4 @@ class AFSScheduler(SchedulerPolicy):
             result = engine.place([PlacementRequest(best, flex_workers=1)])
             if result.flex_shortfall.get(best.job_id, 0):
                 return  # no server can host another worker
-            sim.rescale(best, scaled_out=True)
+            ctx.rescale(best, scaled_out=True)

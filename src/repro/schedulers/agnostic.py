@@ -69,9 +69,12 @@ class LyraAgnosticScheduler(LyraScheduler):
 
     name = "lyra_agnostic"
 
-    #: hooks consumed by :meth:`LyraScheduler.schedule`
+    #: hooks consumed by :meth:`LyraScheduler.decide`
     order_key = staticmethod(las_order_key)
     value_fn = staticmethod(throughput_gain_value)
     #: attained service grows with the clock — the pending order is
     #: time-varying and must be re-sorted every epoch, never cached
     dynamic_order = True
+    #: explicit (not inherited): the LAS order drifts with attained
+    #: service even when the cluster and queue are unchanged
+    epoch_idempotent = False

@@ -1,10 +1,15 @@
 """Scheduler policy interface and shared machinery.
 
-A policy's :meth:`SchedulerPolicy.schedule` is invoked at every scheduling
-epoch with the live :class:`~repro.simulator.simulation.Simulation`; it
-reads the pending queue and cluster state, places workers through the
+A policy's :meth:`SchedulerPolicy.decide` is invoked at every scheduling
+epoch with a :class:`~repro.core.actions.PlanTransaction` — a façade over
+the live :class:`~repro.simulator.simulation.Simulation`; it reads the
+pending queue and cluster state, places workers through the
 :class:`~repro.core.placement.PlacementEngine`, and reports starts/scales
-back through the simulation's API.
+back through the transaction's ``activate``/``rescale`` API, which stages
+them as actions.  :meth:`SchedulerPolicy.plan` wraps an epoch's decisions
+into an :class:`~repro.core.actions.EpochPlan` the simulation applies
+through its :class:`~repro.core.actions.PlanExecutor` — the single commit
+point between policy and cluster.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ import abc
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.job import Job
+from repro.core.actions import EpochPlan, PlanExecutor, PlanTransaction
 from repro.core.allocation import Pools
 from repro.core.placement import PlacementEngine, PlacementRequest
 from repro.obs.profiling import PHASE_PLACEMENT
@@ -24,16 +30,57 @@ class SchedulerPolicy(abc.ABC):
     #: human-readable scheme name (matches the paper's tables)
     name: str = "abstract"
 
-    #: True when re-running :meth:`schedule` against unchanged cluster and
+    #: True when re-running :meth:`decide` against unchanged cluster and
     #: queue state provably repeats the previous epoch's (non-)decisions,
     #: letting the simulator skip the epoch outright when the ClusterView
     #: reports no deltas.  Policies whose decisions depend on wall-clock
-    #: time, attained service, or internal RNG state must leave this False.
+    #: time, attained service, or internal RNG state must declare False.
+    #: Every registered policy declares this explicitly (tested).
     epoch_idempotent: bool = False
 
-    @abc.abstractmethod
+    def plan(self, sim: "Simulation") -> EpochPlan:
+        """Run one epoch's decisions and return them as an EpochPlan.
+
+        Opens a :class:`PlanTransaction` over the simulation, runs
+        :meth:`decide` against it, and seals the staged decisions into a
+        plan.  Nothing lifecycle-visible has happened yet: the caller
+        commits (or prices) the plan through a
+        :class:`~repro.core.actions.PlanExecutor`.  If ``decide`` raises,
+        every staged resource mutation is rolled back before re-raising.
+        """
+        txn = PlanTransaction(sim, policy=self.name)
+        try:
+            self.decide(txn)
+        except BaseException:
+            txn.abort()
+            raise
+        return txn.seal()
+
+    def decide(self, ctx: "PlanTransaction") -> None:
+        """Make one epoch's decisions against the transaction façade.
+
+        The default delegates to a legacy imperative :meth:`schedule`
+        override, whose mutations land on the transaction and are staged
+        — so third-party imperative policies keep working unchanged.
+        """
+        self.schedule(ctx)
+
     def schedule(self, sim: "Simulation") -> None:
-        """Run one scheduling epoch against the simulation state."""
+        """Legacy entry point: plan an epoch and apply it immediately.
+
+        Kept for direct callers (tests, harnesses); the simulator itself
+        calls :meth:`plan` and commits through its own executor.
+        """
+        if type(self).decide is SchedulerPolicy.decide:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement decide() "
+                f"(or a legacy imperative schedule())"
+            )
+        plan = self.plan(sim)
+        executor = getattr(sim, "executor", None)
+        if executor is None:
+            executor = PlanExecutor(sim)
+        executor.apply(plan)
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -53,7 +100,15 @@ class SchedulerPolicy(abc.ABC):
         """
         view = getattr(sim, "view", None)
         if view is not None:
-            return view.pools()
+            pools = view.pools()
+            if pools.onloan_cost < 1.0:
+                raise ValueError(
+                    f"view produced on-loan cost {pools.onloan_cost!r} < 1.0; "
+                    f"the §5.2 weakest-type normalization guarantees at "
+                    f"least one physical GPU per normalized GPU — the "
+                    f"view's GPU-type index is corrupt"
+                )
+            return pools
         training = onloan = 0
         default = 1.0 / sim.pair.inference_compute if hasattr(
             sim.pair, "inference_compute"

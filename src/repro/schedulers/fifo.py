@@ -37,17 +37,19 @@ class FIFOScheduler(SchedulerPolicy):
     def order(self, pending: List[Job]) -> List[Job]:
         return sorted(pending, key=self.order_key)
 
-    def schedule(self, sim: "Simulation") -> None:
+    def decide(self, ctx: "PlanTransaction") -> None:
         ordered = self.sorted_pending(
-            sim, self.order_key, self.name + ":order"
+            ctx, self.order_key, self.name + ":order"
         )
-        self.admit_inelastically(sim, ordered)
+        self.admit_inelastically(ctx, ordered)
 
 
 class SJFScheduler(FIFOScheduler):
     """Shortest-job-first over the scheduler-visible runtime estimates."""
 
     name = "sjf"
+    #: same argument as FIFO: the estimate-ordered scan is stateless
+    epoch_idempotent = True
 
     @staticmethod
     def order_key(job: Job):
@@ -64,23 +66,25 @@ class OpportunisticScheduling(FIFOScheduler):
     """
 
     name = "opportunistic"
+    #: the same stateless backfill scan as FIFO, over a different budget
+    epoch_idempotent = True
 
-    def schedule(self, sim: "Simulation") -> None:
-        maker = getattr(sim, "placement_engine", None)
+    def decide(self, ctx: "PlanTransaction") -> None:
+        maker = getattr(ctx, "placement_engine", None)
         if maker is not None:
             engine = maker(opportunistic=True)
         else:
             engine = PlacementEngine(
-                sim.cluster,
-                special_elastic_grouping=sim.config.special_elastic_grouping,
+                ctx.cluster,
+                special_elastic_grouping=ctx.config.special_elastic_grouping,
                 opportunistic=True,
-                rm=sim.rm,
-                now=sim.now,
+                rm=ctx.rm,
+                now=ctx.now,
             )
-        pools = self.free_pools(sim)
+        pools = self.free_pools(ctx)
         failed_shapes = set()
         ordered = self.sorted_pending(
-            sim, self.order_key, self.name + ":order"
+            ctx, self.order_key, self.name + ":order"
         )
         for job in ordered:
             workers = job.spec.min_workers
@@ -95,5 +99,5 @@ class OpportunisticScheduling(FIFOScheduler):
             if result.failed_base:
                 failed_shapes.add(shape)
                 continue
-            pools = self.free_pools(sim)
-            sim.activate(job)
+            pools = self.free_pools(ctx)
+            ctx.activate(job)

@@ -30,26 +30,26 @@ class GandivaScheduler(SchedulerPolicy):
     def order_key(job):
         return (job.spec.submit_time, job.job_id)
 
-    def schedule(self, sim: "Simulation") -> None:
+    def decide(self, ctx: "PlanTransaction") -> None:
         # Admission: FIFO with backfill at base demand.
         ordered = self.sorted_pending(
-            sim, self.order_key, self.name + ":order"
+            ctx, self.order_key, self.name + ":order"
         )
-        self.admit_inelastically(sim, ordered)
+        self.admit_inelastically(ctx, ordered)
 
         # Grow phase: only when nothing is pending (under-utilization).
-        if sim.pending or not sim.config.elastic:
+        if ctx.pending or not ctx.config.elastic:
             return
-        engine = self.make_engine(sim)
+        engine = self.make_engine(ctx)
         grew = True
         while grew:
             grew = False
-            for job in sim.running_elastic:
+            for job in ctx.running_elastic:
                 if job.total_workers >= job.spec.max_workers:
                     continue
                 result = engine.place(
                     [PlacementRequest(job, flex_workers=1)]
                 )
                 if result.flex_shortfall.get(job.job_id, 0) == 0:
-                    sim.rescale(job, scaled_out=True)
+                    ctx.rescale(job, scaled_out=True)
                     grew = True

@@ -44,38 +44,41 @@ class LyraScheduler(SchedulerPolicy):
     #: True when order_key is time-varying (least-attained-service) and
     #: the cached pending order must not be reused across epochs
     dynamic_order = False
+    #: explicit (not inherited): MCKP item values depend on remaining
+    #: runtime, so an unchanged-state epoch can still decide differently
+    epoch_idempotent = False
 
-    def schedule(self, sim: "Simulation") -> None:
-        elastic_on = sim.config.elastic
-        running_elastic = sim.running_elastic if elastic_on else []
+    def decide(self, ctx: "PlanTransaction") -> None:
+        elastic_on = ctx.config.elastic
+        running_elastic = ctx.running_elastic if elastic_on else []
         current_flex: Dict[int, int] = {
             job.job_id: job.flex_workers for job in running_elastic
         }
 
-        pools = self.free_pools(sim)
-        self.credit_flex(sim, pools, running_elastic)
+        pools = self.free_pools(ctx)
+        self.credit_flex(ctx, pools, running_elastic)
 
         pending = self.sorted_pending(
-            sim, self.order_key, self.name + ":p1", dynamic=self.dynamic_order
+            ctx, self.order_key, self.name + ":p1", dynamic=self.dynamic_order
         )
         if not elastic_on:
             # Elastic scaling disabled: treat every job as inelastic at
             # its base demand; phase two never runs.
-            self.admit_inelastically(sim, pending)
+            self.admit_inelastically(ctx, pending)
             return
 
-        with sim.phase(PHASE_ALLOCATION):
+        with ctx.phase(PHASE_ALLOCATION):
             decision = allocate_two_phase(
                 pending,
                 running_elastic,
                 pools,
                 order_key=self.order_key,
                 value_fn=self.value_fn,
-                phases=sim.obs.phases,
+                phases=ctx.obs.phases,
                 presorted=True,
             )
-        if sim.tracer.enabled:
-            sim.trace(
+        if ctx.tracer.enabled:
+            ctx.trace(
                 "scheduler.mckp",
                 admitted=len(decision.scheduled),
                 skipped=len(decision.skipped),
@@ -89,11 +92,11 @@ class LyraScheduler(SchedulerPolicy):
             new_flex = decision.flex.get(job.job_id, current_flex[job.job_id])
             delta = new_flex - current_flex[job.job_id]
             if delta < 0:
-                removals = self.choose_flex_removals(sim, job, -delta)
-                sim.scale_in_worker_counts(job, removals)
+                removals = self.choose_flex_removals(ctx, job, -delta)
+                ctx.scale_in_worker_counts(job, removals)
 
         # Place admissions (base + their flexible surplus) and scale-outs.
-        engine = self.make_engine(sim)
+        engine = self.make_engine(ctx)
         requests: List[PlacementRequest] = []
         for job, _domain in decision.scheduled:
             flex = decision.flex.get(job.job_id, 0) if job.elastic else 0
@@ -111,14 +114,14 @@ class LyraScheduler(SchedulerPolicy):
                 requests.append(PlacementRequest(job, flex_workers=delta))
                 scale_out_jobs.append(job)
 
-        with sim.phase(PHASE_PLACEMENT):
+        with ctx.phase(PHASE_PLACEMENT):
             result = engine.place(requests)
         for job in result.placed_base:
-            self.update_hetero_penalty(sim, job)
-            sim.activate(job)
+            self.update_hetero_penalty(ctx, job)
+            ctx.activate(job)
         for job in scale_out_jobs:
             shortfall = result.flex_shortfall.get(job.job_id, 0)
             placed = True if shortfall == 0 else job.flex_workers > current_flex[job.job_id]
             if placed:
-                self.update_hetero_penalty(sim, job)
-                sim.rescale(job, scaled_out=True)
+                self.update_hetero_penalty(ctx, job)
+                ctx.rescale(job, scaled_out=True)

@@ -38,6 +38,9 @@ class PolluxScheduler(SchedulerPolicy):
     """Genetic-algorithm goodput optimizer."""
 
     name = "pollux"
+    #: explicit (not inherited): the GA cadence gate and its RNG make
+    #: every epoch stateful — an unchanged cluster can still re-decide
+    epoch_idempotent = False
 
     def __init__(
         self,
@@ -170,42 +173,42 @@ class PolluxScheduler(SchedulerPolicy):
     # ------------------------------------------------------------------
     # scheduling epoch
     # ------------------------------------------------------------------
-    def schedule(self, sim: "Simulation") -> None:
-        if sim.now - self._last_ga < self.ga_interval:
+    def decide(self, ctx: "PlanTransaction") -> None:
+        if ctx.now - self._last_ga < self.ga_interval:
             return  # GA runs on its own cadence; queue waits (by design)
-        self._last_ga = sim.now
-        self._running_ids = set(sim.running)
+        self._last_ga = ctx.now
+        self._running_ids = set(ctx.running)
 
-        jobs: List[Job] = list(sim.running.values()) + list(sim.pending)
+        jobs: List[Job] = list(ctx.running.values()) + list(ctx.pending)
         if not jobs:
             return
-        pools = self.free_pools(sim)
-        self.credit_flex(sim, pools, sim.running_elastic)
+        pools = self.free_pools(ctx)
+        self.credit_flex(ctx, pools, ctx.running_elastic)
         running_base = sum(
-            j.base_workers * j.spec.gpus_per_worker for j in sim.running.values()
+            j.base_workers * j.spec.gpus_per_worker for j in ctx.running.values()
         )
         capacity = pools.total + running_base
 
         genome = self._search(jobs, capacity)
 
         # Apply: scale running jobs, admit pending ones with w > 0.
-        engine = self.make_engine(sim)
+        engine = self.make_engine(ctx)
         target: Dict[int, int] = {
             job.job_id: w for job, w in zip(jobs, genome)
         }
-        for job in list(sim.running.values()):
+        for job in list(ctx.running.values()):
             want = max(target.get(job.job_id, job.total_workers),
                        job.spec.min_workers)
             flex_want = want - job.base_workers
             delta = flex_want - job.flex_workers
             if delta < 0:
-                removals = self.choose_flex_removals(sim, job, -delta)
-                sim.scale_in_worker_counts(job, removals)
+                removals = self.choose_flex_removals(ctx, job, -delta)
+                ctx.scale_in_worker_counts(job, removals)
             elif delta > 0:
                 result = engine.place([PlacementRequest(job, flex_workers=delta)])
                 if result.flex_shortfall.get(job.job_id, 0) < delta:
-                    sim.rescale(job, scaled_out=True)
-        for job in list(sim.pending):
+                    ctx.rescale(job, scaled_out=True)
+        for job in list(ctx.pending):
             want = target.get(job.job_id, 0)
             if want < job.spec.min_workers:
                 continue
@@ -220,4 +223,4 @@ class PolluxScheduler(SchedulerPolicy):
                 ]
             )
             if not result.failed_base:
-                sim.activate(job)
+                ctx.activate(job)

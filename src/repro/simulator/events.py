@@ -26,6 +26,7 @@ class EventKind(enum.Enum):
     LOAN = "loan"
     RECLAIM = "reclaim"
     SCHEDULE_EPOCH = "schedule_epoch"
+    MIGRATE = "migrate"
 
 
 @dataclass(frozen=True)

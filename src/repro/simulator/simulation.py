@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.cluster.cluster import Cluster, ClusterPair
 from repro.cluster.job import Job, JobSpec, JobStatus
+from repro.core.actions import PlanExecutor
 from repro.core.placement import PlacementEngine
 from repro.core.view import ClusterView
 from repro.elastic.throughput import get_scaling_model
@@ -57,6 +58,7 @@ _TRACE_NAMES = {
     EventKind.LOAN: ("orchestrator.loan", CAT_ORCHESTRATOR),
     EventKind.RECLAIM: ("orchestrator.reclaim", CAT_ORCHESTRATOR),
     EventKind.SCHEDULE_EPOCH: ("scheduler.epoch", CAT_SCHEDULER),
+    EventKind.MIGRATE: ("job.migrate", CAT_JOB),
 }
 
 #: Relative tolerance for "the job is done" at a completion event.
@@ -112,6 +114,10 @@ class SimulationConfig:
     #: and serve pools/candidates/queue order from it (False falls back
     #: to the legacy full-scan path; decisions are identical either way)
     incremental_view: bool = True
+    #: keep every applied non-empty :class:`~repro.core.actions.EpochPlan`
+    #: (as JSON dicts with pricing) in ``Simulation.plan_log`` — the
+    #: ``repro run --explain`` data source
+    record_plans: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler_interval <= 0:
@@ -193,6 +199,11 @@ class Simulation:
                 default_onloan_cost=default_cost,
                 jobs=self.jobs,
             )
+        #: the single commit point for decision plans: every epoch's
+        #: :class:`~repro.core.actions.EpochPlan` is applied through it
+        self.executor = PlanExecutor(self)
+        #: applied plans (JSON dicts), populated when ``record_plans``
+        self.plan_log: List[dict] = []
         #: persistent placement engines, keyed by opportunistic flag
         self._engines: Dict[bool, PlacementEngine] = {}
         #: scheduling epochs skipped because no deltas arrived
@@ -259,7 +270,9 @@ class Simulation:
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
-    def run(self) -> SimulationMetrics:
+    def run(self, until: Optional[float] = None) -> SimulationMetrics:
+        """Replay the trace; ``until`` optionally cuts the run short at a
+        simulated timestamp (the ``repro whatif`` probe point)."""
         for job in self.jobs.values():
             self.engine.schedule(job.spec.submit_time, self._arrival(job))
         self.engine.schedule(0.0, self._sampler)
@@ -286,6 +299,8 @@ class Simulation:
             self.fault_injector = FaultInjector(plan, self)
             self.fault_injector.install()
         deadline = self._last_arrival + self.config.drain_limit
+        if until is not None:
+            deadline = min(deadline, until)
         self.engine.run(until=deadline)
         self._finalize_hourly_ratio()
         return self.metrics
@@ -382,7 +397,8 @@ class Simulation:
                 self._epochs_skipped += 1
                 self.metrics.registry.counter("sim.epochs_skipped").inc()
             else:
-                self.policy.schedule(self)
+                plan = self.policy.plan(self)
+                self.executor.apply(plan)
                 if self.view is not None:
                     self._last_epoch_version = self.view.version
         # First-attempt bookkeeping for the Fig. 2 queuing ratio.
@@ -491,7 +507,8 @@ class Simulation:
 
     def _orchestrator_tick(self) -> None:
         assert self.orchestrator is not None
-        self.orchestrator.tick(self)
+        plan = self.orchestrator.plan_tick(self)
+        self.executor.apply(plan)
         if self.pending or self.running or self.engine.now < self._last_arrival:
             self.engine.schedule_after(
                 self.config.orchestrator_interval, self._orchestrator_tick
@@ -549,6 +566,45 @@ class Simulation:
                  workers=job.total_workers)
         self._reschedule_completion(job)
 
+    # -- plan-commit primitives (called by PlanExecutor only) ----------
+    def _commit_start(
+        self, job: Job, workers: int, queued_s: float, eta: float
+    ) -> None:
+        """Commit a staged :class:`~repro.core.actions.Launch`.
+
+        The job's resource-side start (placement, mark_started, tuning)
+        already happened inside the plan transaction; this performs the
+        deferred lifecycle half of :meth:`activate` with the payloads
+        snapshotted at decision time, so logs and completion timing are
+        byte-identical to the imperative path.
+        """
+        self.pending.remove(job)
+        if self.view is not None:
+            self.view.note_queue_change()
+        restart_of = self._preempt_times.pop(job.job_id, None)
+        if restart_of is not None:
+            # time-to-recover: how long a preempted job waited to run again
+            self.metrics.registry.histogram(
+                "resilience.time_to_restart_s"
+            ).observe(self.now - restart_of)
+        self.running[job.job_id] = job
+        self.log(
+            EventKind.START, job.job_id, detail=workers,
+            workers=workers, queued_s=queued_s,
+        )
+        self._schedule_completion_at(job, eta)
+
+    def _commit_rescale(
+        self, job: Job, scaled_out: bool, workers: int, eta: float
+    ) -> None:
+        """Commit a staged ScaleOut/ScaleIn: the lifecycle half of
+        :meth:`rescale`, with decision-time payload snapshots."""
+        job.scale_ops += 1
+        self.metrics.scale_ops += 1
+        kind = EventKind.SCALE_OUT if scaled_out else EventKind.SCALE_IN
+        self.log(kind, job.job_id, detail=workers, workers=workers)
+        self._schedule_completion_at(job, eta)
+
     def _apply_tuning(self, job: Job) -> None:
         """Lyra+TunedJobs: retune batch size/LR on every allocation change.
 
@@ -562,9 +618,18 @@ class Simulation:
             job.hetero_penalty = 1.0
 
     def _reschedule_completion(self, job: Job) -> None:
+        self._schedule_completion_at(job, job.eta())
+
+    def _schedule_completion_at(self, job: Job, eta: float) -> None:
+        """(Re-)arm the job's completion at ``now + eta``.
+
+        ``eta`` may be a plan-time snapshot: committing every staged
+        action's recorded eta in order reproduces the legacy sequence of
+        heap insertions exactly, including ones superseded later in the
+        same epoch (heap identity drives heartbeat skip-ahead timing).
+        """
         epoch = self._completion_epoch.get(job.job_id, 0) + 1
         self._completion_epoch[job.job_id] = epoch
-        eta = job.eta()
         if math.isinf(eta):
             return
         self.engine.schedule(self.now + eta, self._completion(job, epoch))

@@ -1,0 +1,450 @@
+"""Tests for the decision-plan core: actions, transactions, executor.
+
+Covers the freeze-guard contract (policies and the orchestrator emit
+plans; only the PlanExecutor applies them), dry-run pricing leaving the
+simulation untouched, single-use plans, declarative migration, the
+explicit ``epoch_idempotent`` declarations, the on-loan-cost guard, and
+the hypothesis properties pinning reclaim-plan rollback and the
+scale-in-first/preempt disjointness.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.cluster.job import JobSpec
+from repro.core.actions import (
+    EpochPlan,
+    MigrateJob,
+    PlanError,
+    PlanTransaction,
+)
+from repro.core.orchestrator import ResourceOrchestrator
+from repro.schedulers.afs import AFSScheduler
+from repro.schedulers.agnostic import LyraAgnosticScheduler
+from repro.schedulers.fifo import (
+    FIFOScheduler,
+    OpportunisticScheduling,
+    SJFScheduler,
+)
+from repro.schedulers.gandiva import GandivaScheduler
+from repro.schedulers.lyra import LyraScheduler
+from repro.schedulers.pollux import PolluxScheduler
+from repro.simulator.simulation import Simulation, SimulationConfig
+from repro.traces.inference import InferenceTrace
+from repro.traces.workload import TraceConfig, generate_workload
+
+ALL_POLICIES = (
+    FIFOScheduler,
+    SJFScheduler,
+    OpportunisticScheduling,
+    LyraScheduler,
+    LyraAgnosticScheduler,
+    GandivaScheduler,
+    AFSScheduler,
+    PolluxScheduler,
+)
+
+
+def flat_trace(levels, num_servers=4):
+    return InferenceTrace(utilization=np.array(levels, dtype=float), num_servers=num_servers)
+
+
+def state_snapshot(sim) -> tuple:
+    """A deep, comparable snapshot of everything a plan could touch."""
+    servers = tuple(
+        (
+            s.server_id,
+            s.on_loan,
+            s.group,
+            tuple(sorted(s.allocations.items())),
+            s.free_gpus,
+        )
+        for cluster in (sim.pair.training, sim.pair.inference)
+        for s in cluster.servers
+    )
+    jobs = tuple(
+        (
+            j.job_id,
+            j.status.value,
+            j.total_workers,
+            j.remaining_work,
+            tuple(sorted(j.base_placement.items())),
+            tuple(sorted(j.flex_placement.items())),
+            j.preemptions,
+            j.scale_ops,
+            j.hetero_penalty,
+        )
+        for j in sim.jobs.values()
+    )
+    containers = tuple(
+        (cid, c.job_id, c.server_id, c.state.value)
+        for cid, c in sorted(sim.rm._containers.items())
+    )
+    return (
+        servers,
+        jobs,
+        containers,
+        tuple(sorted(sim.running)),
+        tuple(j.job_id for j in sim.pending),
+        len(sim.activities),
+        len(sim.rm.audit),
+        sim.metrics.scale_ops,
+        len(sim.metrics.reclaim_ops),
+        len(sim.metrics.loan_ops),
+    )
+
+
+def mid_run_sim(policy, until=3600.0, num_jobs=40, **cfg):
+    specs = generate_workload(
+        TraceConfig(
+            num_jobs=num_jobs,
+            days=0.5,
+            cluster_gpus=32,
+            seed=3,
+            target_load=2.0,
+        )
+    ).specs
+    pair = ClusterPair(make_training_cluster(4), make_inference_cluster(4))
+    sim = Simulation(
+        specs,
+        pair,
+        policy,
+        inference_trace=flat_trace([0.2] * 24, num_servers=4),
+        config=SimulationConfig(record_activities=True, **cfg),
+    )
+    sim.run(until=until)
+    return sim
+
+
+def loaning_sim(reclaimer="lyra", scale_in_first=True, until=4000.0):
+    """A mid-run orchestrated sim with servers on loan and jobs on them."""
+    trace = flat_trace([0.0] * 24, num_servers=4)
+    specs = [
+        # filler pins the dedicated training servers
+        JobSpec(job_id=0, submit_time=0.0, duration=50000.0, max_workers=16),
+        JobSpec(job_id=1, submit_time=0.0, duration=50000.0, max_workers=4,
+                min_workers=1, elastic=True, fungible=True),
+        JobSpec(job_id=2, submit_time=100.0, duration=50000.0, max_workers=4,
+                min_workers=1, elastic=True, fungible=True),
+        JobSpec(job_id=3, submit_time=200.0, duration=50000.0, max_workers=2, fungible=True),
+    ]
+    orch = ResourceOrchestrator(reclaimer=reclaimer, seed=5, scale_in_first=scale_in_first)
+    pair = ClusterPair(make_training_cluster(2), make_inference_cluster(4))
+    sim = Simulation(
+        specs,
+        pair,
+        LyraScheduler(),
+        inference_trace=trace,
+        orchestrator=orch,
+        config=SimulationConfig(record_activities=True),
+    )
+    sim.run(until=until)
+    return sim
+
+
+# ----------------------------------------------------------------------
+# explicit epoch_idempotent declarations (satellite)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", ALL_POLICIES, ids=lambda c: c.__name__)
+def test_every_policy_declares_epoch_idempotent_explicitly(cls):
+    assert "epoch_idempotent" in cls.__dict__, (
+        f"{cls.__name__} must declare epoch_idempotent in its own class "
+        f"body, not inherit it — the flag is a per-policy contract"
+    )
+    assert isinstance(cls.__dict__["epoch_idempotent"], bool)
+
+
+# ----------------------------------------------------------------------
+# free_pools on-loan cost guard (satellite)
+# ----------------------------------------------------------------------
+def test_free_pools_rejects_subunit_onloan_cost_from_view():
+    fake_view = SimpleNamespace(pools=lambda: SimpleNamespace(onloan_cost=0.5))
+    fake_sim = SimpleNamespace(view=fake_view)
+    with pytest.raises(ValueError, match="on-loan cost 0.5"):
+        FIFOScheduler.free_pools(fake_sim)
+
+
+def test_free_pools_weakest_type_default_with_empty_onloan_pool():
+    # no servers on loan anywhere: the scan collects no per-type costs
+    # and must fall back to a conservative default of at least 1.0
+    fake_sim = SimpleNamespace(
+        pair=SimpleNamespace(),  # no inference_compute attribute
+        cluster=make_training_cluster(2),
+    )
+    pools = FIFOScheduler.free_pools(fake_sim)
+    assert pools.onloan == 0
+    assert pools.onloan_cost >= 1.0
+    assert pools.onloan_cost == 3.0  # the documented conservative default
+
+
+# ----------------------------------------------------------------------
+# freeze guard: every policy plans; dry runs leave no trace
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", ALL_POLICIES, ids=lambda c: c.__name__)
+def test_policy_plans_roundtrip_through_executor(cls):
+    policy = cls()
+    sim = mid_run_sim(policy)
+    assert sim.executor.plans_applied > 0, (
+        f"{cls.__name__} never produced a plan the executor applied — "
+        f"the simulation must route every epoch through the plan core"
+    )
+    assert sim.executor.plans_rejected == 0
+
+    # re-queue a running job so the next epoch has real work to stage
+    running = sorted(sim.running)
+    if running:
+        sim.preempt(sim.jobs[running[0]], cause="scheduler")
+    if isinstance(policy, PolluxScheduler):
+        policy._last_ga = float("-inf")  # bypass the GA cadence gate
+
+    before = state_snapshot(sim)
+    plan = policy.plan(sim)
+    assert isinstance(plan, EpochPlan)
+    receipt = sim.executor.apply(plan, dry_run=True)
+    assert not receipt.applied
+    assert receipt.pricing is not None
+    assert state_snapshot(sim) == before, (
+        f"dry-running a {cls.__name__} plan changed the simulation"
+    )
+    sim.rm.verify_books()
+
+    # the same decisions, re-planned, commit cleanly
+    if isinstance(policy, PolluxScheduler):
+        policy._last_ga = float("-inf")
+    plan2 = policy.plan(sim)
+    receipt2 = sim.executor.apply(plan2)
+    assert receipt2.applied
+    sim.rm.verify_books()
+    if cls in (FIFOScheduler, SJFScheduler, GandivaScheduler, AFSScheduler, LyraScheduler):
+        assert len(plan2.actions) > 0, (f"{cls.__name__} should have re-admitted the preempted job")
+
+
+def test_plans_are_single_use():
+    sim = mid_run_sim(FIFOScheduler())
+    plan = sim.policy.plan(sim)
+    sim.executor.apply(plan)
+    with pytest.raises(PlanError, match="single-use"):
+        sim.executor.apply(plan)
+
+
+def test_open_transaction_blocks_a_second_plan():
+    sim = mid_run_sim(FIFOScheduler())
+    txn = PlanTransaction(sim, policy="outer")
+    try:
+        with pytest.raises(PlanError, match="already open"):
+            sim.policy.plan(sim)
+    finally:
+        txn.abort()
+
+
+# ----------------------------------------------------------------------
+# orchestrator plans: dry-run pricing and real commit
+# ----------------------------------------------------------------------
+def test_orchestrator_reclaim_dry_run_prices_without_state_change():
+    sim = loaning_sim()
+    loaned = sim.pair.loaned_count
+    assert loaned > 0, "fixture must have servers on loan"
+    before = state_snapshot(sim)
+    plan = sim.orchestrator.plan_reclaim(sim, demand=loaned)
+    assert plan.policy == "orchestrator:lyra"
+    assert len(plan.actions) > 0
+    receipt = sim.executor.apply(plan, dry_run=True)
+    assert not receipt.applied
+    assert receipt.pricing["servers_reclaimed"] > 0
+    assert state_snapshot(sim) == before
+    sim.rm.verify_books()
+    if sim.view is not None:
+        sim.view.assert_consistent()
+
+
+def test_orchestrator_reclaim_plan_commits_via_executor():
+    sim = loaning_sim()
+    loaned = sim.pair.loaned_count
+    assert loaned > 0
+    plan = sim.orchestrator.plan_reclaim(sim, demand=loaned)
+    receipt = sim.executor.apply(plan)
+    assert receipt.applied
+    assert sim.pair.loaned_count < loaned
+    assert sim.activities, "commit must write the RECLAIM activity"
+    sim.rm.verify_books()
+    if sim.view is not None:
+        sim.view.assert_consistent()
+
+
+def test_orchestrated_run_routes_ticks_through_executor():
+    sim = loaning_sim(until=20000.0)
+    assert sim.executor.plans_applied > 0
+    assert sim.metrics.loan_ops, "no loans planned"
+
+
+# ----------------------------------------------------------------------
+# declarative migration
+# ----------------------------------------------------------------------
+def test_migrate_job_moves_workers_and_logs():
+    spec = JobSpec(job_id=0, submit_time=0.0, duration=9000.0, max_workers=2)
+    pair = ClusterPair(make_training_cluster(3), make_inference_cluster(1))
+    sim = Simulation(
+        [spec],
+        pair,
+        FIFOScheduler(),
+        config=SimulationConfig(record_activities=True),
+    )
+    sim.run(until=100.0)
+    job = sim.jobs[0]
+    assert job.job_id in sim.running
+    source = next(iter(job.servers))
+    target = next(
+        s.server_id for s in pair.training.servers
+        if s.server_id != source and s.free_gpus >= job.gpus_on(source)
+    )
+    plan = EpochPlan(
+        now=sim.now,
+        policy="test",
+        actions=(MigrateJob(job_id=0, source=source, target=target),),
+    )
+    receipt = sim.executor.apply(plan)
+    assert receipt.applied
+    assert source not in job.servers
+    assert target in job.servers
+    assert any(a.kind.value == "migrate" for a in sim.activities)
+    sim.rm.verify_books()
+    # the job still finishes after being re-homed (resume the engine —
+    # run() would re-schedule the arrival events)
+    sim.engine.run(until=sim._last_arrival + sim.config.drain_limit)
+    assert job.job_id not in sim.running
+
+
+def test_migrate_to_full_server_rejects_plan():
+    spec = JobSpec(job_id=0, submit_time=0.0, duration=9000.0, max_workers=8, gpus_per_worker=1)
+    pair = ClusterPair(make_training_cluster(2), make_inference_cluster(1))
+    sim = Simulation([spec], pair, FIFOScheduler(), config=SimulationConfig(record_activities=True))
+    sim.run(until=100.0)
+    job = sim.jobs[0]
+    source = next(iter(job.servers))
+    target = next(s.server_id for s in pair.training.servers if s.server_id != source)
+    pair.training.get(target).allocate(99, 8)  # fill the target
+    plan = EpochPlan(
+        now=sim.now,
+        policy="test",
+        actions=(MigrateJob(job_id=0, source=source, target=target),),
+    )
+    before = state_snapshot(sim)
+    with pytest.raises(PlanError):
+        sim.executor.apply(plan)
+    assert sim.executor.plans_rejected == 1
+    assert state_snapshot(sim) == before
+
+
+# ----------------------------------------------------------------------
+# hypothesis properties
+# ----------------------------------------------------------------------
+_SIM_CACHE = {}
+
+
+def _cached_loaning_sim(reclaimer, scale_in_first):
+    key = (reclaimer, scale_in_first)
+    if key not in _SIM_CACHE:
+        _SIM_CACHE[key] = loaning_sim(reclaimer=reclaimer, scale_in_first=scale_in_first)
+    return _SIM_CACHE[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    demand=st.integers(min_value=1, max_value=6),
+    reclaimer=st.sampled_from(["lyra", "scf", "random"]),
+    scale_in_first=st.booleans(),
+)
+def test_reclaim_plan_dry_run_restores_clean_books(demand, reclaimer, scale_in_first):
+    """Dry-running any reclaim plan leaves verify_books()-clean state.
+
+    The same simulation is deliberately reused across examples: if a
+    single dry run leaked state, later examples would catch the drift.
+    """
+    sim = _cached_loaning_sim(reclaimer, scale_in_first)
+    before = state_snapshot(sim)
+    plan = sim.orchestrator.plan_reclaim(sim, demand)
+    receipt = sim.executor.apply(plan, dry_run=True)
+    assert not receipt.applied
+    assert state_snapshot(sim) == before
+    sim.rm.verify_books()
+
+
+@settings(max_examples=30, deadline=None)
+@given(demand=st.integers(min_value=1, max_value=6))
+def test_scale_in_first_never_preempts_a_scaled_in_job(demand):
+    """§5.3: a job the plan shrinks is spared preemption in that plan."""
+    sim = _cached_loaning_sim("lyra", True)
+    plan = sim.orchestrator.plan_reclaim(sim, demand)
+    scaled = {a.job_id for a in plan.actions if a.kind == "scale_in" and not a.staged}
+    preempted = {a.job_id for a in plan.actions if a.kind == "preempt"}
+    assert scaled.isdisjoint(preempted)
+    for action in plan.actions:
+        if a_is_final_reclaim(action):
+            assert set(action.scaled_in).isdisjoint(set(action.preempted))
+    sim.executor.apply(plan, dry_run=True)  # roll back for the next example
+
+
+def a_is_final_reclaim(action) -> bool:
+    return action.kind == "reclaim_servers" and not action.route_around
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+_TINY_CLI = [
+    "--jobs",
+    "40",
+    "--days",
+    "0.5",
+    "--training-servers",
+    "4",
+    "--inference-servers",
+    "6",
+    "--load",
+    "3.0",
+    "--seed",
+    "1",
+]
+
+
+def test_cli_whatif_prices_without_state_change(capsys):
+    import json as json_mod
+
+    from repro.cli import main
+
+    rc = main(["whatif", *_TINY_CLI, "--scheme", "lyra", "--at", "7200", "--demand", "1", "--json"])
+    assert rc == 0
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert payload["state_changed"] is False
+    assert payload["demand"] == 1
+    assert "pricing" in payload and "actions" in payload["plan"]
+
+
+def test_cli_whatif_rejects_non_loaning_scheme(capsys):
+    from repro.cli import main
+
+    rc = main(["whatif", *_TINY_CLI, "--scheme", "baseline"])
+    assert rc == 2
+    assert "no resource orchestrator" in capsys.readouterr().err
+
+
+def test_cli_run_explain_reports_plans(capsys):
+    import json as json_mod
+
+    from repro.cli import main
+
+    rc = main(["run", *_TINY_CLI, "--scheme", "lyra", "--explain", "--json"])
+    assert rc == 0
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert payload["plans"], "--explain must record the applied plans"
+    first = payload["plans"][0]
+    assert {"now", "policy", "by_kind", "actions", "pricing"} <= set(first)

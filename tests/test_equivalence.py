@@ -141,6 +141,11 @@ def test_modes_produce_identical_logs(name, golden):
     # the fast mode must actually be exercising its machinery
     assert fast.view is not None
     fast.view.assert_consistent()
+    # ... and both modes must be running through the decision-plan core:
+    # the byte-identical logs above pin plan-mode ≡ legacy-mode behaviour
+    assert fast.executor.plans_applied > 0
+    assert legacy.executor.plans_applied > 0
+    assert fast.executor.plans_rejected == 0
 
 
 def _regenerate() -> None:

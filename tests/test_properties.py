@@ -379,7 +379,7 @@ class TestSimulationProperties:
                 specs, pair, LyraScheduler(),
                 config=SimulationConfig(),
             )
-            metrics = sim.run()
+            sim.run()
             return [
                 (j.job_id, j.first_start_time, j.finish_time)
                 for j in sim.jobs.values()

@@ -17,7 +17,7 @@ from repro.cluster.cluster import (
     make_inference_cluster,
     make_training_cluster,
 )
-from repro.cluster.gpu import A100, T4, V100
+from repro.cluster.gpu import A100, T4
 from repro.cluster.job import Job, JobSpec
 from repro.cluster.server import Server
 from repro.core.placement import PlacementEngine, PlacementRequest
@@ -158,9 +158,11 @@ class TestViewIndexes:
                 for s in pair.training.servers
                 if s.on_loan == on_loan
             )
-            cost_for = lambda t: math.ceil(
-                job.spec.gpus_per_worker / view.rel_compute(t)
-            )
+            def cost_for(t):
+                return math.ceil(
+                    job.spec.gpus_per_worker / view.rel_compute(t)
+                )
+
             assert view.domain_capacity(on_loan, cost_for) == scan
 
     def test_reclaim_cost_matches_direct_computation(self):
@@ -186,7 +188,9 @@ class TestViewIndexes:
         pair = _pair()
         view = ClusterView(pair.training)
         jobs = [make_job(job_id=i, submit_time=float(10 - i)) for i in range(4)]
-        key = lambda j: (j.spec.submit_time, j.job_id)
+        def key(j):
+            return (j.spec.submit_time, j.job_id)
+
         first = view.ordered_pending("fifo", key, jobs)
         assert [j.job_id for j in first] == [3, 2, 1, 0]
         # same version: the very same list object is reused
