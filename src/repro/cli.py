@@ -15,6 +15,11 @@ Commands:
   a hypothetical reclaim plan (preemptions, lost GPU-hours, per-server
   preemption cost) as a dry run that provably leaves the simulation
   untouched.
+* ``check``    — conformance-check the schedulers against the
+  correctness oracles (``repro.oracle``): differential sweeps against
+  brute-force references, metamorphic properties, and mini-scenario
+  replays through every registered scheduler in both view modes.  Exits
+  non-zero on the first divergence, printing a minimized repro script.
 * ``compare``  — run several schemes on the same trace, print a table.
 * ``trace``    — generate a synthetic trace and describe (or export) it.
 * ``inspect``  — summarize an exported event trace (phase timings,
@@ -378,6 +383,38 @@ def cmd_whatif(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Conformance-check the schedulers against the correctness oracles.
+
+    Runs ``repro.oracle.run_check``: seeded differential sweeps (greedy
+    and optimal reclaim vs an exhaustive job-subset search, the MCKP DP
+    vs enumeration, two-phase allocation vs a first-principles
+    reference), metamorphic properties (capacity monotonicity,
+    permutation invariance, dry-run pricing), and mini-scenario replays
+    of every requested scheme in both view modes.  A divergence prints
+    a pointed report with a minimized, runnable repro script and the
+    command exits 1.
+    """
+    from repro.oracle import run_check
+
+    progress = None
+    if args.verbose and not args.json:
+        progress = lambda msg: print(f"  {msg}")  # noqa: E731
+    report = run_check(
+        policies=args.policy or None,
+        seed=args.seed,
+        n=args.n,
+        replay=not args.skip_replay,
+        progress=progress,
+        max_divergences=args.max_divergences,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_compare(args) -> int:
     setup = _make_setup(args)
     results = {}
@@ -586,6 +623,32 @@ def build_parser() -> argparse.ArgumentParser:
                                "hypothetically asks back")
     whatif_p.add_argument("--json", action="store_true")
     whatif_p.set_defaults(func=cmd_whatif)
+
+    check_p = sub.add_parser(
+        "check",
+        help="conformance-check schedulers against the correctness oracles",
+    )
+    check_p.add_argument("--policy", action="append",
+                         choices=sorted(SCHEMES), metavar="SCHEME",
+                         help="scheme to replay in both view modes "
+                              "(repeatable; default: every registered "
+                              "scheme)")
+    check_p.add_argument("--seed", type=int, default=0,
+                         help="base seed; different seeds explore disjoint "
+                              "instance streams")
+    check_p.add_argument("--n", type=int, default=50,
+                         help="instances per differential check (replay "
+                              "and pricing counts scale down from it)")
+    check_p.add_argument("--skip-replay", action="store_true",
+                         help="skip the mini-scenario replays (instance "
+                              "sweeps and metamorphic checks only)")
+    check_p.add_argument("--max-divergences", type=int, default=1,
+                         help="stop after this many divergences")
+    check_p.add_argument("--json", action="store_true")
+    check_p.add_argument("--verbose", action="store_true",
+                         help="print per-stage progress lines")
+    _add_log_arg(check_p)
+    check_p.set_defaults(func=cmd_check)
 
     cmp_p = sub.add_parser("compare", help="run several schemes")
     _add_setup_args(cmp_p)

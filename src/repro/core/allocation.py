@@ -90,6 +90,11 @@ class AllocationDecision:
         skipped: Jobs whose base demand did not fit this epoch.
         mckp_value: Total JCT-reduction value realized by phase two.
         leftover: Capacity remaining after both phases.
+        mckp_groups: The exact MCKP groups phase two solved (None when
+            phase two did not run).  Kept for conformance probes: the
+            repro.oracle runner re-solves captured instances by brute
+            force to certify the DP's optimality in situ.
+        mckp_capacity: The knapsack capacity handed to the solver.
     """
 
     scheduled: List[Tuple[Job, str]] = field(default_factory=list)
@@ -97,6 +102,8 @@ class AllocationDecision:
     skipped: List[Job] = field(default_factory=list)
     mckp_value: float = 0.0
     leftover: Pools = field(default_factory=lambda: Pools(0, 0))
+    mckp_groups: Optional[List[List[Item]]] = None
+    mckp_capacity: int = 0
 
 
 def preferred_domain(job: Job) -> str:
@@ -263,6 +270,8 @@ def allocate_two_phase(
         groups = build_flex_groups(
             elastic_jobs, max_weight=pools.total, value_fn=value_fn
         )
+        decision.mckp_groups = groups
+        decision.mckp_capacity = pools.total
         with phases.phase(PHASE_MCKP_SOLVE):
             value, choices = solve_mckp(groups, pools.total)
         decision.mckp_value = value
@@ -282,20 +291,20 @@ def _deduct_flex(pools: Pools, job: Job, gpus: int) -> None:
     """Charge flexible GPUs to the pools, respecting fungibility.
 
     Flexible workers prefer on-loan capacity (§5.3); non-fungible jobs
-    may only draw from training.  If the preferred pool runs dry the
-    charge spills over — the placement engine will clamp anything that
-    turns out physically infeasible.
+    may only draw from training.  MCKP solves over the *combined*
+    normalized pool, so a non-fungible job's grant can exceed what the
+    training pool holds; the excess is clamped — never charged to
+    on-loan hardware the job cannot run on — and placement clamps the
+    physically infeasible remainder of the grant itself.
     """
     if not job.spec.fungible:
-        taken = min(gpus, pools.training)
-        pools.training -= taken
-        pools.onloan -= int(round((gpus - taken) * pools.onloan_cost))
-    else:
-        taken = min(gpus, pools.onloan_normalized)
-        pools.onloan -= int(round(taken * pools.onloan_cost))
-        pools.training -= gpus - taken
+        pools.training -= min(gpus, pools.training)
+        return
+    taken = min(gpus, pools.onloan_normalized)
+    pools.onloan -= int(round(taken * pools.onloan_cost))
+    pools.training -= gpus - taken
     if pools.training < 0 or pools.onloan < 0:
-        # MCKP ran on the combined normalized pool; tolerate cross-pool
-        # spill by clamping at zero — placement enforces feasibility.
+        # Fungible spill across the pool split; clamp at zero —
+        # placement enforces physical feasibility.
         pools.training = max(0, pools.training)
         pools.onloan = max(0, pools.onloan)

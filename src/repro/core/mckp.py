@@ -89,6 +89,21 @@ def solve_mckp(
     return best_value, choices
 
 
+def solution_cost(
+    choices: Sequence[Optional[Item]],
+) -> Tuple[float, int]:
+    """``(total_value, total_weight)`` of a choice vector.
+
+    The one shared accounting both solvers' outputs are scored with —
+    property tests and the repro.oracle conformance checks use it to
+    certify that a reported optimum is consistent with (and feasible
+    for) the items actually chosen.
+    """
+    value = sum(item.value for item in choices if item is not None)
+    weight = sum(item.weight for item in choices if item is not None)
+    return value, weight
+
+
 def solve_mckp_bruteforce(
     groups: Sequence[Sequence[Item]], capacity: int
 ) -> Tuple[float, List[Optional[Item]]]:

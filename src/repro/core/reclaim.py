@@ -80,9 +80,35 @@ def _base_jobs_on(server: Server, jobs: Mapping[int, Job]) -> List[Job]:
     return found
 
 
-def _base_span(job: Job) -> int:
-    """Number of servers hosting the job's base workers."""
-    return max(1, len(job.base_placement))
+def job_preemption_cost(
+    job: Job,
+    server_id: str,
+    model: CostModel = CostModel.SERVER_FRACTION,
+    base_span: Optional[Set[str]] = None,
+    full_span: Optional[Set[str]] = None,
+) -> float:
+    """Cost contribution of one base-hosting job to vacating ``server_id``.
+
+    The single source of truth for Table 1's three cost definitions,
+    shared by the cached :func:`preemption_cost_index` and the greedy
+    planner's live loop.  The greedy passes its working ``base_span`` /
+    ``full_span`` placement copies so costs track simulated preemptions
+    and scale-ins; index callers omit them and get the live placement.
+    Historically the two paths computed GPU_FRACTION differently — GPUs
+    over ``job.servers`` in the index vs workers over the working span
+    in the loop — so the cached index could silently disagree with the
+    costs the greedy actually paid; both now route through here (pinned
+    equal by tests/test_reclaim.py and the repro.oracle conformance
+    checks).
+    """
+    if model is CostModel.JOB_COUNT:
+        return 1.0
+    if model is CostModel.GPU_FRACTION:
+        span = job.servers if full_span is None else full_span
+        total = sum(job.gpus_on(sid) for sid in span)
+        return job.gpus_on(server_id) / total if total else 0.0
+    span = job.base_placement if base_span is None else base_span
+    return 1.0 / max(1, len(span))
 
 
 def server_preemption_cost(
@@ -97,23 +123,10 @@ def server_preemption_cost(
     while a server hosting slivers of many multi-server jobs costs more —
     matching the worked example of Fig. 5 / Table 1.
     """
-    base_jobs = _base_jobs_on(server, jobs)
-    if model is CostModel.JOB_COUNT:
-        return float(len(base_jobs))
-    if model is CostModel.GPU_FRACTION:
-        cost = 0.0
-        for job in base_jobs:
-            total = sum(
-                s_alloc
-                for s_alloc in (
-                    job.workers_on(sid) * job.spec.gpus_per_worker
-                    for sid in job.servers
-                )
-            )
-            here = job.workers_on(server.server_id) * job.spec.gpus_per_worker
-            cost += here / total if total else 0.0
-        return cost
-    return sum(1.0 / _base_span(job) for job in base_jobs)
+    return sum(
+        job_preemption_cost(job, server.server_id, model)
+        for job in _base_jobs_on(server, jobs)
+    )
 
 
 def preemption_cost_index(
@@ -131,6 +144,44 @@ def preemption_cost_index(
         server.server_id: server_preemption_cost(server, jobs, model)
         for server in servers
     }
+
+
+def initial_greedy_costs(
+    candidates: Sequence[Server],
+    jobs: Mapping[int, Job],
+    model: CostModel = CostModel.SERVER_FRACTION,
+) -> Dict[str, float]:
+    """Per-server cost exactly as the greedy loop's *first* iteration sees it.
+
+    Builds the same working placement copies as :func:`plan_reclaim_lyra`
+    and prices every candidate before any simulated preemption.  On a
+    consistent cluster this must equal :func:`preemption_cost_index` for
+    every cost model — the drift between the two GPU_FRACTION code paths
+    was exactly the bug this pin exists to catch (tests/test_reclaim.py
+    and the repro.oracle conformance runner both enforce it).
+    """
+    base_map: Dict[int, Set[str]] = {}
+    flex_map: Dict[int, Dict[str, int]] = {}
+    for server in candidates:
+        for job_id in server.allocations:
+            job = jobs[job_id]
+            base_map.setdefault(job.job_id, set(job.base_placement))
+            flex_map.setdefault(job.job_id, dict(job.flex_placement))
+    costs: Dict[str, float] = {}
+    for server in candidates:
+        sid = server.server_id
+        costs[sid] = sum(
+            job_preemption_cost(
+                jobs[j],
+                sid,
+                model,
+                base_span=base_map[j],
+                full_span=base_map[j] | set(flex_map.get(j, {})),
+            )
+            for j, sids in base_map.items()
+            if sid in sids
+        )
+    return costs
 
 
 # ----------------------------------------------------------------------
@@ -201,18 +252,16 @@ def plan_reclaim_lyra(
         return plan
 
     def cost_of(sid: str) -> float:
-        job_ids = hosts_base(sid)
-        if cost_model is CostModel.JOB_COUNT:
-            return float(len(job_ids))
-        if cost_model is CostModel.GPU_FRACTION:
-            total_cost = 0.0
-            for job_id in job_ids:
-                job = jobs[job_id]
-                span = base_map[job_id] | set(flex_map.get(job_id, {}))
-                total = sum(job.workers_on(s) for s in span) or 1
-                total_cost += job.workers_on(sid) / total
-            return total_cost
-        return sum(1.0 / max(1, len(base_map[j])) for j in job_ids)
+        return sum(
+            job_preemption_cost(
+                jobs[j],
+                sid,
+                cost_model,
+                base_span=base_map[j],
+                full_span=base_map[j] | set(flex_map.get(j, {})),
+            )
+            for j in hosts_base(sid)
+        )
 
     def tie_break(sid: str):
         """Cascade benefit vs collateral damage of preempting ``sid``.
@@ -378,6 +427,17 @@ def plan_reclaim_optimal(
         if len(plan.servers) < count:
             return None
         plan.servers = plan.servers[:count]
+        # _plan_from_order charged collateral against the subset alone;
+        # recompute it against the final selection so GPUs on cascade-
+        # vacated servers that ARE being returned no longer count as
+        # damage (§7.3 definition: GPUs freed on unreturned servers).
+        returned = set(plan.servers)
+        plan.collateral_gpus = 0
+        for job_id in plan.preempted_jobs:
+            job = jobs[job_id]
+            for sid in job.servers:
+                if sid not in returned:
+                    plan.collateral_gpus += job.gpus_on(sid)
         return plan
 
     best: Optional[ReclaimPlan] = None
@@ -389,8 +449,21 @@ def plan_reclaim_optimal(
             if best is None or plan.num_preemptions < best.num_preemptions:
                 best = plan
         if best is not None and best.num_preemptions <= size:
-            # Can't beat `size` preemptions with subsets of size `size`
-            # when every subset member forced at least one preemption.
+            # Sound to stop (proof, pinned by the repro.oracle brute
+            # force over *job* subsets): any subset achieving k
+            # preemptions is dominated by a subset of size <= k.  Shrink
+            # its preempted job set to a minimal P still vacating
+            # >= count candidates, call them V.  Minimality puts a base
+            # host in V for every job of P (dropping a job with no such
+            # host would leave V vacated).  Pick one host per job of P:
+            # that subset S' has |S'| <= |P| <= k, its servers' base
+            # jobs are exactly P (servers in V are base-free once P is
+            # gone, so they host nothing outside P), and preempting P
+            # re-vacates all of V — so evaluate(S') already achieved
+            # <= k preemptions at size |S'|.  Hence a plan beating
+            # `best` (< best <= size) would have been found at a
+            # strictly smaller size, and searching larger subsets
+            # cannot help — multi-server-job cascades included.
             break
     if best is None:
         # Not enough vacatable capacity even preempting everything.

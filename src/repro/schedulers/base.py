@@ -38,6 +38,27 @@ class SchedulerPolicy(abc.ABC):
     #: Every registered policy declares this explicitly (tested).
     epoch_idempotent: bool = False
 
+    #: Conformance hook: when the repro.oracle runner (or a test) attaches
+    #: a callable here, :meth:`emit_decision` feeds it every decision
+    #: record a policy chooses to publish — e.g. the exact MCKP instance
+    #: an allocation epoch solved — so an external oracle can re-derive
+    #: and certify decisions in situ.  None (the default) costs one
+    #: attribute read per epoch; policies never depend on a probe's
+    #: presence or behaviour.
+    conformance_probe = None
+
+    def emit_decision(self, kind: str, **payload) -> None:
+        """Publish one decision record to an attached conformance probe.
+
+        ``kind`` names the decision family (``"allocation"``, ...);
+        ``payload`` carries the live decision objects.  Probes must
+        treat the payload as read-only — it is the policy's working
+        state, not a copy.
+        """
+        probe = self.conformance_probe
+        if probe is not None:
+            probe(self.name, kind, payload)
+
     def plan(self, sim: "Simulation") -> EpochPlan:
         """Run one epoch's decisions and return them as an EpochPlan.
 

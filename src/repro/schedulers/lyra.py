@@ -77,6 +77,7 @@ class LyraScheduler(SchedulerPolicy):
                 phases=ctx.obs.phases,
                 presorted=True,
             )
+        self.emit_decision("allocation", decision=decision)
         if ctx.tracer.enabled:
             ctx.trace(
                 "scheduler.mckp",

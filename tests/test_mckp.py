@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.mckp import Item, solve_mckp, solve_mckp_bruteforce
+from repro.core.mckp import (
+    Item,
+    solution_cost,
+    solve_mckp,
+    solve_mckp_bruteforce,
+)
 
 
 class TestBasics:
@@ -111,3 +116,52 @@ class TestAgainstBruteForce:
         v_small, _ = solve_mckp(groups, 3)
         v_large, _ = solve_mckp(groups, 9)
         assert v_large >= v_small
+
+
+# Adversarial inputs the production path can produce at its edges:
+# zero-weight items (a flex grant the job absorbs for free), negative
+# values (an extra worker that *lengthens* the estimated JCT under a
+# sublinear scaling model), and empty groups (an elastic job whose every
+# item was pruned at the capacity bound).
+signed_item_strategy = st.builds(
+    Item,
+    weight=st.integers(min_value=0, max_value=6),
+    value=st.floats(min_value=-50.0, max_value=100.0, allow_nan=False),
+)
+signed_groups_strategy = st.lists(
+    st.lists(signed_item_strategy, max_size=4), max_size=4
+)
+
+
+class TestAdversarialInputs:
+    @given(groups=signed_groups_strategy, capacity=st.integers(0, 12))
+    @settings(max_examples=200, deadline=None)
+    def test_dp_matches_bruteforce_with_signed_values(self, groups, capacity):
+        dp_value, dp_choices = solve_mckp(groups, capacity)
+        bf_value, bf_choices = solve_mckp_bruteforce(groups, capacity)
+        assert dp_value == pytest.approx(bf_value)
+        for choices, reported in ((dp_choices, dp_value),
+                                  (bf_choices, bf_value)):
+            value, weight = solution_cost(choices)
+            assert weight <= capacity
+            assert value == pytest.approx(reported)
+
+    @given(groups=signed_groups_strategy, capacity=st.integers(0, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_never_worse_than_empty_solution(self, groups, capacity):
+        # Taking nothing is always allowed, so negative-value items must
+        # never drag the optimum below zero.
+        dp_value, _ = solve_mckp(groups, capacity)
+        assert dp_value >= 0.0
+
+    def test_zero_weight_positive_item_always_taken(self):
+        groups = [[Item(weight=0, value=7.0)]]
+        value, choices = solve_mckp(groups, 0)
+        assert value == pytest.approx(7.0)
+        assert choices[0] is not None
+
+    def test_all_empty_groups(self):
+        value, choices = solve_mckp([[], [], []], 5)
+        assert value == 0.0
+        assert choices == [None, None, None]
+        assert solution_cost(choices) == (0.0, 0)

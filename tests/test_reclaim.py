@@ -10,10 +10,12 @@ from repro.cluster.gpu import V100
 from repro.cluster.server import Server
 from repro.core.reclaim import (
     CostModel,
+    initial_greedy_costs,
     plan_reclaim_lyra,
     plan_reclaim_optimal,
     plan_reclaim_random,
     plan_reclaim_scf,
+    preemption_cost_index,
     server_preemption_cost,
 )
 
@@ -88,6 +90,56 @@ class TestPreemptionCost:
             servers[idx], jobs, CostModel.SERVER_FRACTION
         )
         assert cost == pytest.approx(expected)
+
+
+class TestCostIndexDrift:
+    """The cached cost index and the greedy loop's live costs must agree.
+
+    GPU_FRACTION was historically computed two ways — GPUs over
+    ``job.servers`` in the index vs workers over the working span in the
+    loop — which only diverges when a job's per-server GPU cost varies
+    across hosts.  Both paths now route through ``job_preemption_cost``;
+    these pins keep them fused.
+    """
+
+    def _mixed_cost_instance(self):
+        """A job whose GPU cost differs across its two hosts (e.g. a
+        heterogeneous placement paying double on one server)."""
+        servers = [
+            Server(server_id=f"m{i}", gpu_type=V100, on_loan=True,
+                   home_cluster="inference")
+            for i in range(3)
+        ]
+        job = make_job(job_id=1, max_workers=8)
+        job.record_placement("m0", 2, flexible=False, gpu_cost=1, on_loan=True)
+        servers[0].allocate(1, 2)
+        job.record_placement("m1", 2, flexible=False, gpu_cost=2, on_loan=True)
+        servers[1].allocate(1, 4)
+        other = make_job(job_id=2, max_workers=4)
+        place(other, servers[2], 3)
+        return servers, {1: job, 2: other}
+
+    @pytest.mark.parametrize("model", list(CostModel))
+    def test_index_matches_initial_greedy_costs(self, model):
+        servers, jobs = self._mixed_cost_instance()
+        index = preemption_cost_index(servers, jobs, model)
+        live = initial_greedy_costs(servers, jobs, model)
+        assert live == pytest.approx(index)
+
+    def test_mixed_costs_price_gpu_fraction_by_gpus_not_workers(self):
+        # 2 GPUs on m0 vs 4 on m1: the fractions must be 1/3 and 2/3
+        # (a workers-based computation would claim 1/2 each).
+        servers, jobs = self._mixed_cost_instance()
+        index = preemption_cost_index(servers, jobs, CostModel.GPU_FRACTION)
+        assert index["m0"] == pytest.approx(1 / 3)
+        assert index["m1"] == pytest.approx(2 / 3)
+
+    def test_index_matches_on_fig5(self):
+        servers, jobs = fig5_instance()
+        for model in CostModel:
+            index = preemption_cost_index(servers, jobs, model)
+            live = initial_greedy_costs(servers, jobs, model)
+            assert live == pytest.approx(index)
 
 
 class TestLyraGreedy:
@@ -209,6 +261,34 @@ class TestOptimal:
         servers, jobs = fig5_instance()
         optimal = plan_reclaim_optimal(servers, jobs, count=2)
         assert optimal.num_preemptions == 1
+
+    def test_size_bound_keeps_searching_past_first_feasible_plan(self):
+        """Counterexample shape for a tempting-but-wrong early exit.
+
+        At subset size 1 the only feasible plan is {x}: preempting its
+        three sliver jobs vacates x plus (by cascade) y — 3 preemptions.
+        The optimum needs subset size 2 ({a, b}: 2 preemptions).  An
+        exit that stops at the first feasible size would return 3; the
+        actual bound (``best.num_preemptions <= size``) keeps searching
+        because 3 > 1, which is exactly what the soundness proof in
+        ``plan_reclaim_optimal`` licenses.
+        """
+        servers = {
+            sid: Server(server_id=sid, gpu_type=V100, on_loan=True,
+                        home_cluster="inference")
+            for sid in ("x", "y", "a", "b")
+        }
+        jobs = {}
+        spanner = make_job(job_id=0, max_workers=8)
+        place(spanner, servers["x"], 1)
+        place(spanner, servers["y"], 4)
+        jobs[0] = spanner
+        for job_id, sid in ((1, "x"), (2, "x"), (3, "a"), (4, "b")):
+            job = make_job(job_id=job_id, max_workers=4)
+            place(job, servers[sid], 2)
+            jobs[job_id] = job
+        optimal = plan_reclaim_optimal(list(servers.values()), jobs, count=2)
+        assert optimal.num_preemptions == 2
 
     def test_guard_on_large_instances(self):
         servers, jobs = fig5_instance()
