@@ -23,7 +23,15 @@ Commands:
 * ``compare``  — run several schemes on the same trace, print a table.
 * ``trace``    — generate a synthetic trace and describe (or export) it.
 * ``inspect``  — summarize an exported event trace (phase timings,
-  preemption causes, reclaim timeline).
+  preemption causes, reclaim timeline); ``--diff A B`` compares two
+  traces and reports the first divergence plus metric deltas.
+* ``why``      — narrate the causal chain behind a job's lifecycle from
+  an exported trace: which plan dispatched/preempted it, what triggered
+  that epoch, which fault was behind it.
+* ``report``   — with a trace file, render a deterministic markdown run
+  report (JCT/queue-wait percentiles, utilization, loan/reclaim and
+  preemption timelines, decision ledger, phase call counts); without
+  one, run the headline schemes and check shapes against the paper.
 * ``paper``    — print the paper's published numbers for a table.
 
 Everything is seeded; two invocations with the same arguments produce
@@ -498,7 +506,26 @@ def cmd_trace(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """Run the headline schemes and print the shape-verdict report."""
+    """With a trace file: render the markdown run report.  Without one:
+    run the headline schemes and print the shape-verdict report."""
+    if getattr(args, "trace_file", None):
+        from repro.obs import report_from_file
+
+        try:
+            text = report_from_file(args.trace_file)
+        except FileNotFoundError:
+            print(f"no such trace file: {args.trace_file}", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            print(f"cannot parse trace: {exc}", file=sys.stderr)
+            return 2
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote report to {args.out}")
+        else:
+            print(text, end="")
+        return 0
     setup = _make_setup(args)
     results = {
         scheme: run_scheme(setup, scheme, seed=args.seed)
@@ -509,12 +536,52 @@ def cmd_report(args) -> int:
     return 0 if all(c.holds for c in checks) else 1
 
 
-def cmd_inspect(args) -> int:
-    """Summarize an exported event trace."""
+def cmd_why(args) -> int:
+    """Narrate the causal chain behind one job's lifecycle."""
+    from repro.obs import TimelineStore, render_why
+
     try:
-        print(inspect_trace(args.trace_file, top=args.top))
+        store = TimelineStore.from_file(args.trace_file)
     except FileNotFoundError:
         print(f"no such trace file: {args.trace_file}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"cannot parse trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        story = store.why(args.job_id, at=args.at)
+    except KeyError:
+        known = sorted(store.jobs)
+        hint = (f" (trace covers jobs {known[0]}..{known[-1]})"
+                if known else "")
+        print(f"job {args.job_id} does not appear in this trace{hint}",
+              file=sys.stderr)
+        return 2
+    print(render_why(args.job_id, story))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Summarize an exported event trace, or diff two of them."""
+    from repro.obs import diff_traces, load_trace, render_diff
+
+    files = args.trace_file
+    try:
+        if args.diff:
+            if len(files) != 2:
+                print("--diff compares exactly two traces",
+                      file=sys.stderr)
+                return 2
+            diff = diff_traces(load_trace(files[0]), load_trace(files[1]))
+            print(render_diff(diff, files[0], files[1]))
+            return 0 if diff.identical else 1
+        if len(files) != 1:
+            print("inspect takes one trace (use --diff to compare two)",
+                  file=sys.stderr)
+            return 2
+        print(inspect_trace(files[0], top=args.top))
+    except FileNotFoundError as exc:
+        print(f"no such trace file: {exc.filename}", file=sys.stderr)
         return 2
     except TraceFormatError as exc:
         print(f"cannot parse trace: {exc}", file=sys.stderr)
@@ -667,15 +734,41 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.set_defaults(func=cmd_trace)
 
     report_p = sub.add_parser(
-        "report", help="run the headline schemes and check shapes vs paper"
+        "report",
+        help="markdown run report from a trace; without a trace, run the "
+             "headline schemes and check shapes vs paper",
     )
+    report_p.add_argument("trace_file", nargs="?", default=None,
+                          help="trace written by run --trace; renders the "
+                               "deterministic markdown run report")
+    report_p.add_argument("--out", default=None,
+                          help="write the markdown report to this path "
+                               "instead of stdout")
     _add_setup_args(report_p)
     report_p.set_defaults(func=cmd_report)
+
+    why_p = sub.add_parser(
+        "why",
+        help="narrate the causal chain behind a job's lifecycle",
+    )
+    why_p.add_argument("trace_file", help="trace written by run --trace")
+    why_p.add_argument("job_id", type=int, help="job to explain")
+    why_p.add_argument("--at", type=float, default=None, metavar="SECONDS",
+                       help="explain only the state in effect at this "
+                            "simulated time")
+    _add_log_arg(why_p)
+    why_p.set_defaults(func=cmd_why)
 
     inspect_p = sub.add_parser(
         "inspect", help="summarize an exported event trace"
     )
-    inspect_p.add_argument("trace_file", help="trace written by run --trace")
+    inspect_p.add_argument("trace_file", nargs="+",
+                           help="trace written by run --trace "
+                                "(two traces with --diff)")
+    inspect_p.add_argument("--diff", action="store_true",
+                           help="compare two traces: first event-stream "
+                                "divergence plus metric deltas "
+                                "(exit 1 when they differ)")
     inspect_p.add_argument("--top", type=int, default=5,
                            help="how many worst-preempted jobs to list")
     _add_log_arg(inspect_p)

@@ -49,6 +49,18 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.cluster.job import Job
 from repro.elastic.controller import ElasticControllerError, check_scale_floor
 from repro.obs import get_logger
+from repro.obs.profiling import (
+    NULL_PROFILER,
+    PHASE_PLAN_COMMIT,
+    PHASE_PLAN_VALIDATE,
+)
+from repro.obs.provenance import (
+    PROVENANCE_EVENT,
+    TRIGGER_LOAN,
+    TRIGGER_RECLAIM,
+    Provenance,
+    action_digest,
+)
 from repro.obs.tracer import CAT_PLAN
 from repro.rm.containers import Container, ContainerState
 from repro.simulator.events import EventKind
@@ -207,6 +219,16 @@ class EpochPlan:
     actions: Tuple[Action, ...] = ()
     consumed: bool = field(default=False, compare=False)
     txn: Optional["PlanTransaction"] = field(default=None, repr=False, compare=False)
+    #: id of the ``obs.span`` that produced this plan (traced runs only)
+    span_id: Optional[int] = field(default=None, compare=False)
+    #: decision inputs noted by the policy via ``txn.note_provenance()``
+    decision_inputs: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: full causal record, attached by the simulation before apply()
+    provenance: Optional[Provenance] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.actions)
@@ -269,6 +291,8 @@ class PlanTransaction:
         #: worker totals as of the job's last recorded action (for deltas)
         self._last_total: Dict[int, int] = {}
         self._audit_len = len(rm.audit)
+        #: decision inputs for the provenance ledger (traced runs only)
+        self._prov_inputs: Optional[Dict[str, Any]] = None
         self._open = True
         rm.journal = self
 
@@ -405,6 +429,17 @@ class PlanTransaction:
                         delta=prev - total, eta=eta, staged=True)
             )
 
+    def note_provenance(self, **inputs: Any) -> None:
+        """Record the decision-relevant state the policy saw this epoch
+        (MCKP admitted/value, pool sizes, ...) for the provenance ledger.
+
+        Policies should guard the call with ``ctx.tracer.enabled`` so
+        untraced runs never build the dict; noting twice merges.
+        """
+        if self._prov_inputs is None:
+            self._prov_inputs = {}
+        self._prov_inputs.update(inputs)
+
     # -- lifecycle -------------------------------------------------------
     def seal(self) -> EpochPlan:
         """Detach from the RM and package the staged epoch as a plan."""
@@ -415,6 +450,7 @@ class PlanTransaction:
             actions=tuple(self._actions),
         )
         plan.txn = self
+        plan.decision_inputs = self._prov_inputs
         return plan
 
     def abort(self) -> None:
@@ -544,8 +580,11 @@ class PlanExecutor:
             if txn is not None:
                 txn.rollback()
             return PlanReceipt(applied=False, actions=len(plan.actions), pricing=pricing)
+        obs = getattr(sim, "obs", None)
+        phases = obs.phases if obs is not None else NULL_PROFILER
         try:
-            self._validate(plan)
+            with phases.phase(PHASE_PLAN_VALIDATE):
+                self._validate(plan)
         except PlanError:
             self.plans_rejected += 1
             if txn is not None:
@@ -553,9 +592,10 @@ class PlanExecutor:
             raise
         self.in_flight = True
         try:
-            for action in plan.actions:
-                self._commit(action)
-                self.actions_applied += 1
+            with phases.phase(PHASE_PLAN_COMMIT):
+                for action in plan.actions:
+                    self._commit(action)
+                    self.actions_applied += 1
         finally:
             self.in_flight = False
         if txn is not None:
@@ -572,13 +612,42 @@ class PlanExecutor:
                     ts=sim.now,
                     cat=CAT_PLAN,
                     policy=plan.policy,
+                    plan_id=self.plans_applied,
                     actions=len(plan.actions),
                     by_kind=plan.by_kind(),
                     jobs_affected=pricing["jobs_affected"],
                     preemptions=pricing["preemptions"],
                     gpus_moved=pricing["gpus_moved"],
                 )
+                self._emit_provenance(plan, pricing)
         return PlanReceipt(applied=True, actions=len(plan.actions), pricing=pricing)
+
+    def _emit_provenance(self, plan: EpochPlan, pricing: Dict[str, Any]) -> None:
+        """Emit the plan's causal record (the ``plan.provenance`` event).
+
+        The simulation attaches a full :class:`Provenance` (triggers +
+        inputs + span) before calling :meth:`apply`; plans applied
+        outside that loop (tests, what-if replays) still get a minimal
+        record so the ledger never has holes.
+        """
+        sim = self.sim
+        prov = plan.provenance
+        if prov is None:
+            prov = Provenance(
+                policy=plan.policy,
+                ts=plan.now,
+                inputs=plan.decision_inputs or {},
+                span_id=plan.span_id,
+            )
+        sim.tracer.emit(
+            PROVENANCE_EVENT,
+            ts=sim.now,
+            cat=CAT_PLAN,
+            plan_id=self.plans_applied,
+            pricing=pricing,
+            actions=[action_digest(a) for a in plan.actions],
+            **prov.to_payload(),
+        )
 
     # -- pricing ---------------------------------------------------------
     def price(self, plan: EpochPlan) -> Dict[str, Any]:
@@ -789,6 +858,7 @@ class PlanExecutor:
             sim.log(EventKind.LOAN, detail=server_ids,
                     servers=server_ids, requested=action.requested)
             logger.debug("loaned %d servers at %.0f", len(moved), sim.now)
+            sim.note_trigger(TRIGGER_LOAN, servers=len(moved))
             sim.trigger_schedule()
 
     def _commit_route_around(self, action: ReclaimServers) -> None:
@@ -806,6 +876,9 @@ class PlanExecutor:
         if returned:
             if action.record_metrics:
                 sim.metrics.reclaim_ops.append(returned)
+            sim.note_trigger(
+                TRIGGER_RECLAIM, servers=returned, route_around=True
+            )
             sim.trigger_schedule()
 
     def _commit_reclaim(self, action: ReclaimServers) -> None:
@@ -866,6 +939,9 @@ class PlanExecutor:
                 sim.now,
                 len(preempted),
                 len(action.scaled_in),
+            )
+            sim.note_trigger(
+                TRIGGER_RECLAIM, servers=returned, demand=action.demand
             )
             sim.trigger_schedule()
 

@@ -92,6 +92,10 @@ class ResourceOrchestrator:
         #: most conservative degraded posture: reclaim only, no new loans
         self.freeze_loans_when_degraded: bool = False
         self._degraded_tick = False
+        self._forecast_capped = False
+        #: decision inputs of the latest tick, for the provenance ledger
+        #: (built only while the run is traced)
+        self._last_inputs: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def target_loanable(self, sim: "Simulation") -> int:
@@ -105,6 +109,7 @@ class ResourceOrchestrator:
         longer be seen coming.
         """
         trace = sim.inference_trace
+        self._forecast_capped = False
         if trace is None:
             return 0
         target = trace.loanable_at(sim.now, headroom=self.headroom)
@@ -129,6 +134,7 @@ class ResourceOrchestrator:
                     * trace.num_servers
                 )
                 predicted_target = max(0, trace.num_servers - reserved)
+                self._forecast_capped = predicted_target < target
                 target = min(target, predicted_target)
         if self._degraded_tick:
             safety = min(0.99, self.headroom + self.degraded_headroom)
@@ -228,13 +234,18 @@ class ResourceOrchestrator:
         actions the simulation commits through its
         :class:`~repro.core.actions.PlanExecutor` (or prices dry-run).
         """
-        with sim.phase(PHASE_ORCH_TICK):
+        tick_span = sim.phase(PHASE_ORCH_TICK)
+        with tick_span:
             actions = self._plan_actions(sim)
-        return EpochPlan(
+        plan = EpochPlan(
             now=sim.now,
             policy=f"orchestrator:{self.reclaimer}",
             actions=tuple(actions),
         )
+        plan.span_id = tick_span.span_id
+        plan.decision_inputs = self._last_inputs
+        self._last_inputs = None
+        return plan
 
     def tick(self, sim: "Simulation") -> None:
         """Legacy entry point: plan one interval and apply it immediately.
@@ -252,8 +263,25 @@ class ResourceOrchestrator:
         self._target_history.append(self.target_loanable(sim))
         recent = self._target_history[-3:]
         supply = sorted(recent)[len(recent) // 2]
-        target = min(supply, self.training_need_servers(sim, supply))
+        need = self.training_need_servers(sim, supply)
+        target = min(supply, need)
         current = sim.pair.loaned_count
+        if sim.tracer.enabled:
+            # Provenance: what the loaning decision saw this interval.
+            # ``supply`` is the smoothed inference-side offer, ``need``
+            # the training-side demand; a forecast-lowered supply or a
+            # degraded predictor shows up here and in the trigger kind.
+            self._last_inputs = {
+                "supply": supply,
+                "raw_target": self._target_history[-1],
+                "need": need,
+                "target": target,
+                "current": current,
+                "surplus_ticks": self._surplus_ticks,
+                "predictor": self.predictor is not None,
+                "forecast_capped": self._forecast_capped,
+                "degraded": self._degraded_tick,
+            }
         if target > current:
             self._surplus_ticks = 0
             if self._degraded_tick and self.freeze_loans_when_degraded:

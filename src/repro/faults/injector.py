@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, List, Tuple
 
 from repro.faults.audit import audit_simulation
 from repro.faults.plan import FaultPlan, Straggler
+from repro.obs.provenance import TRIGGER_FAULT
 from repro.rm.manager import TransientLaunchError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -127,6 +128,10 @@ class FaultInjector:
             "fault.outage", servers=outage.servers,
             repair_time=outage.repair_time,
         )
+        # provenance: tag the next epoch with the fault-plan cause
+        self.sim.note_trigger(
+            TRIGGER_FAULT, fault="outage", servers=outage.servers
+        )
         self._fail_block(outage.servers, outage.repair_time, "outage")
 
     # ------------------------------------------------------------------
@@ -142,6 +147,10 @@ class FaultInjector:
         self.sim.trace(
             "fault.straggler_start", servers=block, factor=straggler.factor,
             duration=straggler.duration,
+        )
+        self.sim.note_trigger(
+            TRIGGER_FAULT, fault="straggler", servers=len(block),
+            factor=straggler.factor,
         )
         self.sim.metrics.registry.counter("resilience.stragglers").inc(
             len(block)
@@ -165,6 +174,10 @@ class FaultInjector:
         spike's onset in the event trace and audits the reclaim storm."""
         self.sim.trace(
             "fault.flash_crowd", magnitude=crowd.magnitude,
+            duration=crowd.duration,
+        )
+        self.sim.note_trigger(
+            TRIGGER_FAULT, fault="flash_crowd", magnitude=crowd.magnitude,
             duration=crowd.duration,
         )
         self.sim.metrics.registry.counter("resilience.flash_crowds").inc()

@@ -23,18 +23,36 @@ from dataclasses import dataclass, field
 from typing import Any, Dict
 
 from repro.obs.inspect import (
+    TraceDiff,
     TraceFormatError,
     TraceSummary,
+    diff_traces,
     inspect_trace,
     load_trace,
+    render_diff,
     render_summary,
     summarize,
 )
 from repro.obs.log import configure_logging, get_logger, reset_logging
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
 from repro.obs.profiling import NULL_PROFILER, PhaseProfiler, PhaseStat
+from repro.obs.provenance import (
+    PROVENANCE_EVENT,
+    Provenance,
+    Trigger,
+)
+from repro.obs.report import build_report, report_from_file
+from repro.obs.timeline import TimelineStore, render_why
 from repro.obs.tracer import (
+    CAT_SPAN,
     NULL_TRACER,
+    SPAN_EVENT,
     SUMMARY_EVENT,
     TraceEvent,
     Tracer,
@@ -79,6 +97,7 @@ class Observability:
 
 
 __all__ = [
+    "CAT_SPAN",
     "Counter",
     "Gauge",
     "Histogram",
@@ -86,18 +105,30 @@ __all__ = [
     "NULL_PROFILER",
     "NULL_TRACER",
     "Observability",
+    "PROVENANCE_EVENT",
     "PhaseProfiler",
     "PhaseStat",
+    "Provenance",
+    "SPAN_EVENT",
     "SUMMARY_EVENT",
+    "TimelineStore",
+    "TraceDiff",
     "TraceEvent",
     "TraceFormatError",
     "TraceSummary",
     "Tracer",
+    "Trigger",
+    "build_report",
     "configure_logging",
+    "diff_traces",
     "get_logger",
     "inspect_trace",
     "load_trace",
+    "percentile",
+    "render_diff",
     "render_summary",
+    "render_why",
+    "report_from_file",
     "reset_logging",
     "summarize",
     "to_chrome",

@@ -1,19 +1,36 @@
-"""Trace inspection: summarize an exported event trace.
+"""Trace inspection: summarize, compare and sanity-check event traces.
 
 ``repro inspect <trace>`` loads a JSONL (or Chrome-format) trace and
 prints what you would otherwise grep for by hand: the event census, a
 job funnel, the preemption breakdown by cause (and its worst victims),
 the reclaim timeline with per-op collateral damage, and the per-phase
 wall-clock table recorded by the profiling hooks.
+
+``repro inspect --diff A B`` compares two traces: it reports the first
+event where the streams diverge (spans excluded — their durations are
+wall clock) and the per-metric deltas between the recorded summaries.
+
+Loading is lenient: truncated or corrupt JSONL lines — the normal
+aftermath of a killed run — are skipped and *counted*, not fatal.  A
+file with no parseable record at all is still rejected.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.tracer import SUMMARY_EVENT
+from repro.obs.tracer import CAT_SPAN, SPAN_EVENT, SUMMARY_EVENT
+
+#: Event-name prefixes the toolchain emits today.  ``summarize`` counts
+#: every event either way, but names outside this vocabulary are
+#: surfaced explicitly so a producer/consumer drift (or a hand-edited
+#: trace) is visible instead of silently folded into the census.
+KNOWN_EVENT_PREFIXES = (
+    "job.", "scheduler.", "orchestrator.", "cluster.", "elastic.",
+    "fault.", "recovery.", "plan.", "obs.", "run.", "trace.",
+)
 
 
 class TraceFormatError(ValueError):
@@ -21,10 +38,13 @@ class TraceFormatError(ValueError):
 
 
 def load_trace(path: str) -> Dict[str, Any]:
-    """Load a trace file into ``{"events": [...], "summary": {...}}``.
+    """Load a trace file into
+    ``{"events": [...], "summary": {...}, "skipped_lines": n}``.
 
     Auto-detects the format: a JSON document with ``traceEvents`` is
-    treated as a Chrome export, anything else as JSONL.
+    treated as a Chrome export, anything else as JSONL.  Corrupt JSONL
+    lines are skipped and counted in ``skipped_lines``; only a file
+    with no parseable record at all raises :class:`TraceFormatError`.
     """
     with open(path) as fh:
         text = fh.read()
@@ -45,21 +65,31 @@ def load_trace(path: str) -> Dict[str, Any]:
             if e.get("ph") == "i"
         ]
         summary = doc.get("otherData", {}).get("summary") or {}
-        return {"events": events, "summary": summary}
+        return {"events": events, "summary": summary, "skipped_lines": 0}
     events: List[Dict[str, Any]] = []
     summary: Dict[str, Any] = {}
-    for lineno, line in enumerate(text.splitlines(), 1):
+    skipped = 0
+    for line in text.splitlines():
         if not line.strip():
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"{path}:{lineno}: not JSON ({exc})")
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
         if record.get("name") == SUMMARY_EVENT:
             summary = record.get("args", {})
         else:
             events.append(record)
-    return {"events": events, "summary": summary}
+    if not events and not summary:
+        raise TraceFormatError(
+            f"{path}: no parseable trace records "
+            f"({skipped} corrupt line{'s' if skipped != 1 else ''})"
+        )
+    return {"events": events, "summary": summary, "skipped_lines": skipped}
 
 
 @dataclass
@@ -79,6 +109,8 @@ class TraceSummary:
     loans: List[Dict[str, Any]] = field(default_factory=list)
     phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    skipped_lines: int = 0
+    unknown_events: Dict[str, int] = field(default_factory=dict)
 
 
 def summarize(trace: Dict[str, Any]) -> TraceSummary:
@@ -86,12 +118,15 @@ def summarize(trace: Dict[str, Any]) -> TraceSummary:
     out = TraceSummary()
     events = trace["events"]
     out.total_events = len(events)
+    out.skipped_lines = int(trace.get("skipped_lines", 0))
     if events:
         times = [e.get("ts", 0.0) for e in events]
         out.span = max(times) - min(times)
     for event in events:
         name = event.get("name", "?")
         out.counts[name] = out.counts.get(name, 0) + 1
+        if not name.startswith(KNOWN_EVENT_PREFIXES):
+            out.unknown_events[name] = out.unknown_events.get(name, 0) + 1
         args = event.get("args") or {}
         if name == "job.submit":
             out.submissions += 1
@@ -130,10 +165,20 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
                  f"{summary.starts} dispatches, "
                  f"{summary.finishes} finished, "
                  f"{summary.preemptions} preemptions")
+    if summary.skipped_lines:
+        lines.append(f"  warning: skipped {summary.skipped_lines} "
+                     f"corrupt line"
+                     f"{'s' if summary.skipped_lines != 1 else ''}")
     lines.append("")
     lines.append("== event census ==")
     for name in sorted(summary.counts, key=summary.counts.get, reverse=True):
         lines.append(f"  {name:<26}{summary.counts[name]:>8}")
+    if summary.unknown_events:
+        unknown = ", ".join(
+            f"{name} ×{count}"
+            for name, count in sorted(summary.unknown_events.items())
+        )
+        lines.append(f"  warning: unrecognized event types: {unknown}")
 
     lines.append("")
     lines.append("== preemption summary ==")
@@ -209,3 +254,111 @@ def render_summary(summary: TraceSummary, top: int = 5) -> str:
 def inspect_trace(path: str, top: int = 5) -> str:
     """One-call helper: load, summarize and render ``path``."""
     return render_summary(summarize(load_trace(path)), top=top)
+
+
+# ----------------------------------------------------------------------
+# trace comparison (`repro inspect --diff A B`)
+# ----------------------------------------------------------------------
+
+def _canonical_events(
+    trace: Dict[str, Any]
+) -> List[Tuple[float, str, Any, str]]:
+    """The deterministic view of a trace's event stream.
+
+    Span events are excluded because their ``dur_ms`` is wall clock;
+    everything else in a seeded run is simulated-time deterministic,
+    which is exactly what makes first-divergence comparison meaningful.
+    """
+    out = []
+    for event in trace["events"]:
+        if event.get("name") == SPAN_EVENT or event.get("cat") == CAT_SPAN:
+            continue
+        out.append((
+            event.get("ts", 0.0),
+            event.get("name", "?"),
+            event.get("job_id"),
+            json.dumps(event.get("args") or {}, sort_keys=True, default=str),
+        ))
+    return out
+
+
+@dataclass
+class TraceDiff:
+    """What ``diff_traces`` found between two traces."""
+
+    events_a: int
+    events_b: int
+    #: index of the first differing canonical event, or ``None`` when
+    #: the streams are identical (lengths included)
+    divergence_index: Optional[int]
+    divergence_a: Optional[Tuple[float, str, Any, str]]
+    divergence_b: Optional[Tuple[float, str, Any, str]]
+    #: metric name -> (value in A, value in B), differing entries only
+    metric_deltas: Dict[str, Tuple[Any, Any]]
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence_index is None and not self.metric_deltas
+
+
+def diff_traces(trace_a: Dict[str, Any],
+                trace_b: Dict[str, Any]) -> TraceDiff:
+    """Compare two loaded traces: first event-stream divergence plus
+    the deltas between their recorded summary metrics."""
+    a, b = _canonical_events(trace_a), _canonical_events(trace_b)
+    index: Optional[int] = None
+    for i, (ea, eb) in enumerate(zip(a, b)):
+        if ea != eb:
+            index = i
+            break
+    if index is None and len(a) != len(b):
+        index = min(len(a), len(b))
+
+    deltas: Dict[str, Tuple[Any, Any]] = {}
+    for kind in ("counters", "gauges"):
+        ma = (trace_a.get("summary") or {}).get("metrics", {}).get(kind) or {}
+        mb = (trace_b.get("summary") or {}).get("metrics", {}).get(kind) or {}
+        for key in sorted(set(ma) | set(mb)):
+            if ma.get(key) != mb.get(key):
+                deltas[key] = (ma.get(key), mb.get(key))
+
+    return TraceDiff(
+        events_a=len(a), events_b=len(b),
+        divergence_index=index,
+        divergence_a=a[index] if index is not None and index < len(a)
+        else None,
+        divergence_b=b[index] if index is not None and index < len(b)
+        else None,
+        metric_deltas=deltas,
+    )
+
+
+def _format_event(event: Optional[Tuple[float, str, Any, str]]) -> str:
+    if event is None:
+        return "<end of trace>"
+    ts, name, job_id, args = event
+    job = f" job={job_id}" if job_id is not None else ""
+    return f"t={ts:.1f}s {name}{job} {args}"
+
+
+def render_diff(diff: TraceDiff, label_a: str = "A",
+                label_b: str = "B") -> str:
+    """Format a :class:`TraceDiff` as the CLI report."""
+    lines = ["== trace diff =="]
+    lines.append(f"  A: {label_a} ({diff.events_a} events)")
+    lines.append(f"  B: {label_b} ({diff.events_b} events)")
+    if diff.divergence_index is None:
+        lines.append("  event streams identical (spans excluded)")
+    else:
+        lines.append(f"  first divergence at event "
+                     f"#{diff.divergence_index}:")
+        lines.append(f"    A: {_format_event(diff.divergence_a)}")
+        lines.append(f"    B: {_format_event(diff.divergence_b)}")
+    lines.append("")
+    lines.append("== metric deltas ==")
+    if not diff.metric_deltas:
+        lines.append("  recorded metrics identical")
+    else:
+        for key, (va, vb) in diff.metric_deltas.items():
+            lines.append(f"  {key:<34}{va!s:>12} -> {vb!s:<12}")
+    return "\n".join(lines)

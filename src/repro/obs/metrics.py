@@ -13,9 +13,40 @@ compute exact percentiles.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The shared percentile: linear interpolation on the sorted sample.
+
+    This is the one percentile definition every reporting surface uses
+    (registry histograms, ``DistributionSummary``, the Table 8 bench) —
+    equivalent to ``numpy.percentile(..., method="linear")``.
+
+    Edge cases are explicit: an empty sample returns NaN, a single
+    sample returns that sample for every ``pct``, ``pct=0``/``pct=100``
+    return the exact min/max, and an out-of-range or NaN ``pct``
+    raises :class:`ValueError` instead of silently indexing wrong.
+    """
+    if math.isnan(pct) or not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct!r}")
+    n = len(values)
+    if n == 0:
+        return math.nan
+    ordered = sorted(values)
+    if n == 1:
+        return float(ordered[0])
+    if pct == 0.0:
+        return float(ordered[0])
+    if pct == 100.0:
+        return float(ordered[-1])
+    rank = (pct / 100.0) * (n - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, n - 1)
+    frac = rank - lo
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * frac)
 
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
@@ -88,14 +119,7 @@ class Histogram:
         return self.sum / self.count if self.count else math.nan
 
     def percentile(self, pct: float) -> float:
-        if not self.observations:
-            return math.nan
-        ordered = sorted(self.observations)
-        rank = (pct / 100.0) * (len(ordered) - 1)
-        lo = int(math.floor(rank))
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+        return percentile(self.observations, pct)
 
 
 class MetricsRegistry:
@@ -172,8 +196,13 @@ class MetricsRegistry:
                     "count": hist.count,
                     "sum": hist.sum,
                     "mean": hist.mean(),
+                    "min": hist.percentile(0),
+                    "p25": hist.percentile(25),
                     "p50": hist.percentile(50),
+                    "p75": hist.percentile(75),
                     "p95": hist.percentile(95),
+                    "p99": hist.percentile(99),
+                    "max": hist.percentile(100),
                 }
         return out
 

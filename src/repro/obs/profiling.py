@@ -5,12 +5,24 @@ wall-clock time per named phase (scheduler tick, MCKP DP solve, reclaim
 planning, placement bin-packing).  Like the tracer, it is built to cost
 nothing when disabled: ``phase()`` then returns a shared no-op context
 manager, so instrumented code needs no conditionals.
+
+When a tracer is bound via :meth:`PhaseProfiler.bind`, every phase
+additionally becomes a **span**: entering a phase pushes a fresh
+deterministic span id onto a stack, and exiting emits an ``obs.span``
+trace event (category ``span``) carrying the span id, its parent span
+id, the phase name, the simulated time at entry, and the wall-clock
+duration.  Span ids are sequential per run, so seeded runs produce
+identical span *structure* — only the ``dur_ms`` field is wall-clock.
+Plans link back to the span that produced them through
+``EpochPlan.span_id``, captured from the phase context manager.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, NamedTuple
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.obs.tracer import CAT_SPAN, SPAN_EVENT, Tracer
 
 
 class PhaseStat(NamedTuple):
@@ -28,6 +40,10 @@ class _NullPhase:
 
     __slots__ = ()
 
+    #: Matches :class:`_Phase`'s attribute so plan builders can read
+    #: ``cm.span_id`` unconditionally.
+    span_id = None
+
     def __enter__(self) -> "_NullPhase":
         return self
 
@@ -39,36 +55,79 @@ _NULL_PHASE = _NullPhase()
 
 
 class _Phase:
-    __slots__ = ("_profiler", "_name", "_start")
+    __slots__ = ("_profiler", "_name", "_start", "_ts", "_parent", "span_id")
 
     def __init__(self, profiler: "PhaseProfiler", name: str):
         self._profiler = profiler
         self._name = name
+        self.span_id: Optional[int] = None
+        self._parent: Optional[int] = None
 
     def __enter__(self) -> "_Phase":
+        prof = self._profiler
+        if prof.tracer is not None:
+            prof._span_seq += 1
+            self.span_id = prof._span_seq
+            self._parent = prof._stack[-1] if prof._stack else None
+            prof._stack.append(self.span_id)
+            self._ts = prof.clock() if prof.clock is not None else 0.0
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._profiler._record(
-            self._name, time.perf_counter() - self._start
-        )
+        elapsed = time.perf_counter() - self._start
+        prof = self._profiler
+        prof._record(self._name, elapsed)
+        if self.span_id is not None:
+            prof._stack.pop()
+            prof.tracer.emit(
+                SPAN_EVENT,
+                ts=self._ts,
+                cat=CAT_SPAN,
+                span=self._name,
+                span_id=self.span_id,
+                parent_id=self._parent,
+                dur_ms=round(elapsed * 1e3, 6),
+            )
 
 
 class PhaseProfiler:
-    """Accumulates per-phase wall-clock totals."""
+    """Accumulates per-phase wall-clock totals (and spans when bound)."""
 
-    __slots__ = ("enabled", "totals", "counts", "maxima")
+    __slots__ = (
+        "enabled", "totals", "counts", "maxima",
+        "tracer", "clock", "_stack", "_span_seq",
+    )
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.totals: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
         self.maxima: Dict[str, float] = {}
+        #: Span sink; ``None`` keeps phases span-free (pure timing).
+        self.tracer: Optional[Tracer] = None
+        #: Returns the current *simulated* time for span timestamps.
+        self.clock: Optional[Callable[[], float]] = None
+        self._stack: List[int] = []
+        self._span_seq = 0
 
     @classmethod
     def disabled(cls) -> "PhaseProfiler":
         return cls(enabled=False)
+
+    def bind(self, tracer: Tracer, clock: Callable[[], float]) -> None:
+        """Promote phases to spans emitted into ``tracer``.
+
+        No-op when either side is disabled, preserving the zero-cost
+        guarantee of untraced runs.
+        """
+        if self.enabled and tracer.enabled:
+            self.tracer = tracer
+            self.clock = clock
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span's id, or None outside any span."""
+        return self._stack[-1] if self._stack else None
 
     def phase(self, name: str):
         """Context manager timing one occurrence of ``name``."""
@@ -128,8 +187,11 @@ NULL_PROFILER = PhaseProfiler.disabled()
 
 #: Canonical phase names used by the wired-in hooks.
 PHASE_SCHEDULER_TICK = "scheduler.tick"
+PHASE_DECIDE = "scheduler.decide"
 PHASE_MCKP_SOLVE = "scheduler.mckp_solve"
 PHASE_ALLOCATION = "scheduler.allocation"
 PHASE_PLACEMENT = "scheduler.placement"
 PHASE_RECLAIM_PLAN = "orchestrator.reclaim_plan"
 PHASE_ORCH_TICK = "orchestrator.tick"
+PHASE_PLAN_VALIDATE = "plan.validate"
+PHASE_PLAN_COMMIT = "plan.commit"

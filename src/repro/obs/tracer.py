@@ -36,9 +36,13 @@ CAT_META = "meta"
 CAT_FAULT = "fault"
 CAT_RECOVERY = "recovery"
 CAT_PLAN = "plan"
+CAT_SPAN = "span"
 
 #: The reserved name of the trailing aggregate record in JSONL exports.
 SUMMARY_EVENT = "trace.summary"
+
+#: The event name nested profiler spans are emitted under.
+SPAN_EVENT = "obs.span"
 
 
 @dataclass(frozen=True)
@@ -219,16 +223,21 @@ def to_chrome(
     Layout: process 1 holds one thread per job (its run intervals as
     ``"X"`` duration slices, other job events as instants); process 0
     holds scheduler/orchestrator/cluster instants and the running/pending
-    counter tracks.
+    counter tracks; process 2 renders profiler spans (:data:`SPAN_EVENT`
+    records) as duration slices, one thread per nesting depth, placed at
+    their simulated entry time with their wall-clock duration.
     """
     trace: List[Dict[str, Any]] = [
         {"ph": "M", "pid": 0, "name": "process_name",
          "args": {"name": "control plane"}},
         {"ph": "M", "pid": 1, "name": "process_name",
          "args": {"name": "jobs"}},
+        {"ph": "M", "pid": 2, "name": "process_name",
+         "args": {"name": "spans (wall-clock dur)"}},
     ]
     open_spans: Dict[int, float] = {}
     named_jobs: set = set()
+    span_depth: Dict[int, int] = {}
     running = pending = 0
 
     def counter(ts: float) -> Dict[str, Any]:
@@ -238,6 +247,20 @@ def to_chrome(
         }
 
     for event in events:
+        if event.name == SPAN_EVENT:
+            args = event.args
+            parent = args.get("parent_id")
+            depth = span_depth.get(parent, -1) + 1 if parent else 0
+            sid = args.get("span_id")
+            if sid is not None:
+                span_depth[sid] = depth
+            trace.append({
+                "ph": "X", "pid": 2, "tid": depth, "ts": _us(event.ts),
+                "dur": max(1, int(round(args.get("dur_ms", 0.0) * 1e3))),
+                "cat": CAT_SPAN, "name": args.get("span", "span"),
+                "args": {"span_id": sid, "parent_id": parent},
+            })
+            continue
         job = event.job_id
         if job is not None and job not in named_jobs:
             named_jobs.add(job)

@@ -21,7 +21,7 @@ from repro.cluster.job import Job
 from repro.core.actions import EpochPlan, PlanExecutor, PlanTransaction
 from repro.core.allocation import Pools
 from repro.core.placement import PlacementEngine, PlacementRequest
-from repro.obs.profiling import PHASE_PLACEMENT
+from repro.obs.profiling import PHASE_DECIDE, PHASE_PLACEMENT
 
 
 class SchedulerPolicy(abc.ABC):
@@ -70,12 +70,16 @@ class SchedulerPolicy(abc.ABC):
         every staged resource mutation is rolled back before re-raising.
         """
         txn = PlanTransaction(sim, policy=self.name)
+        decide_span = sim.phase(PHASE_DECIDE)
         try:
-            self.decide(txn)
+            with decide_span:
+                self.decide(txn)
         except BaseException:
             txn.abort()
             raise
-        return txn.seal()
+        plan = txn.seal()
+        plan.span_id = decide_span.span_id
+        return plan
 
     def decide(self, ctx: "PlanTransaction") -> None:
         """Make one epoch's decisions against the transaction façade.

@@ -87,6 +87,17 @@ class LyraScheduler(SchedulerPolicy):
                 flex_workers=sum(decision.flex.values()),
                 value_s=round(decision.mckp_value, 3),
             )
+            ctx.note_provenance(
+                mckp_admitted=len(decision.scheduled),
+                mckp_skipped=len(decision.skipped),
+                mckp_groups=len(decision.flex),
+                mckp_flex_workers=sum(decision.flex.values()),
+                mckp_value_s=round(decision.mckp_value, 3),
+                pending=len(pending),
+                running_elastic=len(running_elastic),
+                pool_training=round(pools.training, 3),
+                pool_total=round(pools.total, 3),
+            )
 
         # Scale-ins first: free the GPUs that admissions will consume.
         for job in running_elastic:

@@ -26,13 +26,17 @@ import numpy as np
 
 from repro.cluster.job import Job
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import percentile as _shared_percentile
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Percentile with linear interpolation; NaN on empty input."""
-    if not values:
-        return math.nan
-    return float(np.percentile(np.asarray(values, dtype=float), pct))
+    """Percentile with linear interpolation; NaN on empty input.
+
+    Delegates to the shared :func:`repro.obs.metrics.percentile` so the
+    registry histograms, the distribution summaries and the Table 8
+    bench all agree on one definition.
+    """
+    return _shared_percentile(list(values), pct)
 
 
 @dataclass
@@ -51,14 +55,14 @@ class DistributionSummary:
         if not values:
             nan = math.nan
             return cls(nan, nan, nan, nan, nan, 0)
-        arr = np.asarray(values, dtype=float)
+        sample = [float(v) for v in values]
         return cls(
-            mean=float(arr.mean()),
-            median=float(np.percentile(arr, 50)),
-            p75=float(np.percentile(arr, 75)),
-            p95=float(np.percentile(arr, 95)),
-            p99=float(np.percentile(arr, 99)),
-            count=len(values),
+            mean=float(np.mean(sample)),
+            median=percentile(sample, 50),
+            p75=percentile(sample, 75),
+            p95=percentile(sample, 95),
+            p99=percentile(sample, 99),
+            count=len(sample),
         )
 
 

@@ -35,6 +35,20 @@ from repro.core.view import ClusterView
 from repro.elastic.throughput import get_scaling_model
 from repro.obs import Observability, get_logger
 from repro.obs.profiling import PHASE_SCHEDULER_TICK
+from repro.obs.provenance import (
+    MAX_TRIGGERS,
+    TRIGGER_ARRIVAL,
+    TRIGGER_COMPLETION,
+    TRIGGER_FAULT,
+    TRIGGER_FORECAST,
+    TRIGGER_HEARTBEAT,
+    TRIGGER_INTERVAL,
+    TRIGGER_NODE_FAILURE,
+    TRIGGER_NODE_RECOVERY,
+    TRIGGER_PREEMPT,
+    Provenance,
+    Trigger,
+)
 from repro.obs.tracer import CAT_JOB, CAT_ORCHESTRATOR, CAT_SCHEDULER
 from repro.profiler.profiler import JobProfiler
 from repro.rm.manager import ResourceManager
@@ -154,8 +168,17 @@ class Simulation:
         self.engine = Engine()
         self.obs = obs if obs is not None else Observability.disabled()
         self.tracer = self.obs.tracer
+        # Promote profiler phases to spans on the simulated clock; a
+        # no-op unless both the profiler and the tracer are enabled.
+        self.obs.phases.bind(self.tracer, lambda: self.engine.now)
         self.metrics = SimulationMetrics(registry=self.obs.registry)
         self.activities: List[Activity] = []
+        #: epoch triggers awaiting the next plan's provenance record;
+        #: only ever populated while the tracer is enabled
+        self._pending_triggers: List[Trigger] = []
+        self._dropped_triggers = 0
+        #: jobs that have dispatched at least once (queue-wait metric)
+        self._started_once: Set[int] = set()
 
         self.jobs: Dict[int, Job] = {}
         self.pending: List[Job] = []
@@ -267,6 +290,54 @@ class Simulation:
         """Wall-clock phase timer (no-op unless profiling is enabled)."""
         return self.obs.phases.phase(name)
 
+    def note_trigger(self, kind: str, **detail) -> None:
+        """Record one cause of the next scheduling epoch (provenance).
+
+        Call sites pair this with :meth:`trigger_schedule`; the pending
+        list is consumed into the next applied plan's
+        :class:`~repro.obs.provenance.Provenance`.  A no-op (no dict, no
+        allocation) when the run is untraced.
+        """
+        if not self.tracer.enabled:
+            return
+        if len(self._pending_triggers) >= MAX_TRIGGERS:
+            self._dropped_triggers += 1
+            return
+        self._pending_triggers.append(
+            Trigger(
+                kind=kind,
+                ts=self.engine.now,
+                detail=tuple(sorted(detail.items())),
+            )
+        )
+
+    def _take_provenance(
+        self, plan, extra_triggers=(), consume_pending=True
+    ) -> None:
+        """Attach a provenance record to a freshly built plan.
+
+        Scheduler plans consume the pending trigger list (the events
+        that scheduled the epoch); orchestrator plans are driven by
+        their own interval and only carry synthesized triggers, leaving
+        the pending list for the next scheduling epoch.
+        """
+        dropped = 0
+        if consume_pending:
+            triggers = tuple(self._pending_triggers) + tuple(extra_triggers)
+            self._pending_triggers = []
+            dropped = self._dropped_triggers
+            self._dropped_triggers = 0
+        else:
+            triggers = tuple(extra_triggers)
+        plan.provenance = Provenance(
+            policy=plan.policy,
+            ts=self.engine.now,
+            triggers=triggers,
+            inputs=plan.decision_inputs or {},
+            span_id=plan.span_id,
+            dropped_triggers=dropped,
+        )
+
     # ------------------------------------------------------------------
     # run loop
     # ------------------------------------------------------------------
@@ -329,6 +400,7 @@ class Simulation:
         periodically, on top of the event-driven triggers)."""
         self._heartbeats += 1
         if self.pending:
+            self.note_trigger(TRIGGER_HEARTBEAT, pending=len(self.pending))
             self.trigger_schedule()
         if self.pending or self.running or self.engine.now < self._last_arrival:
             delay = max(60.0, self.config.scheduler_interval)
@@ -371,6 +443,7 @@ class Simulation:
                 gpus_per_worker=job.spec.gpus_per_worker,
                 elastic=job.spec.elastic,
             )
+            self.note_trigger(TRIGGER_ARRIVAL, job_id=job.job_id)
             self.trigger_schedule()
 
         return handler
@@ -398,6 +471,8 @@ class Simulation:
                 self.metrics.registry.counter("sim.epochs_skipped").inc()
             else:
                 plan = self.policy.plan(self)
+                if self.tracer.enabled:
+                    self._take_provenance(plan)
                 self.executor.apply(plan)
                 if self.view is not None:
                     self._last_epoch_version = self.view.version
@@ -496,18 +571,56 @@ class Simulation:
         self.obs.registry.gauge("usage.overall").set(overall)
 
         onloan = training.on_loan_servers
+        onloan_usage = None
         if onloan:
             used = sum(s.used_gpus for s in onloan)
             total = sum(s.num_gpus for s in onloan)
-            self.metrics.onloan_usage.append(now, used / total)
+            onloan_usage = used / total
+            self.metrics.onloan_usage.append(now, onloan_usage)
             busy = sum(1 for s in onloan if not s.idle)
             self.metrics.onloan_busy.append(now, busy / len(onloan))
+
+        if self.tracer.enabled:
+            # Periodic utilization snapshot: the `repro report`
+            # utilization timeline reads these back from the trace.
+            self.trace(
+                "cluster.usage",
+                training=round(
+                    self.metrics.training_usage.values[-1], 6
+                ) if self.metrics.training_usage.values else None,
+                overall=round(overall, 6),
+                loaned=self.pair.loaned_count,
+                onloan_usage=(
+                    round(onloan_usage, 6)
+                    if onloan_usage is not None else None
+                ),
+                running=len(self.running),
+                pending=len(self.pending),
+            )
 
         self.engine.schedule_after(self.config.sample_interval, self._sampler)
 
     def _orchestrator_tick(self) -> None:
         assert self.orchestrator is not None
         plan = self.orchestrator.plan_tick(self)
+        if self.tracer.enabled:
+            inputs = plan.decision_inputs or {}
+            extra = [Trigger(
+                kind=TRIGGER_INTERVAL,
+                ts=self.engine.now,
+                detail=(("interval_s", self.config.orchestrator_interval),),
+            )]
+            if inputs.get("forecast_capped"):
+                extra.append(Trigger(TRIGGER_FORECAST, ts=self.engine.now))
+            if inputs.get("degraded"):
+                extra.append(Trigger(
+                    TRIGGER_FAULT,
+                    ts=self.engine.now,
+                    detail=(("fault", "predictor_down"),),
+                ))
+            self._take_provenance(
+                plan, extra_triggers=extra, consume_pending=False
+            )
         self.executor.apply(plan)
         if self.pending or self.running or self.engine.now < self._last_arrival:
             self.engine.schedule_after(
@@ -546,12 +659,35 @@ class Simulation:
                 "resilience.time_to_restart_s"
             ).observe(self.now - restart_of)
         self.running[job.job_id] = job
+        if job.job_id not in self._started_once:
+            self._started_once.add(job.job_id)
+            self.metrics.registry.histogram("sim.queue_wait_s").observe(
+                self.now - job.spec.submit_time
+            )
         self.log(
             EventKind.START, job.job_id, detail=job.total_workers,
             workers=job.total_workers,
             queued_s=self.now - job.spec.submit_time,
+            **self._start_trace_extras(job),
         )
         self._reschedule_completion(job)
+
+    def _start_trace_extras(self, job: Job) -> Dict[str, object]:
+        """Placement/loan context attached to traced ``job.start`` events
+        (powers the per-job timeline); empty — and allocation-free — in
+        untraced runs."""
+        if not self.tracer.enabled:
+            return {}
+        gpu_types = set()
+        for sid in job.servers:
+            server = self.rm._server(sid)
+            if server is not None:
+                gpu_types.add(server.gpu_type.name)
+        return {
+            "servers": sorted(job.servers),
+            "onloan": sorted(job._onloan_servers),
+            "gpu_types": sorted(gpu_types),
+        }
 
     def rescale(self, job: Job, scaled_out: bool) -> None:
         """Account a scale operation on a running job and re-time it."""
@@ -588,9 +724,15 @@ class Simulation:
                 "resilience.time_to_restart_s"
             ).observe(self.now - restart_of)
         self.running[job.job_id] = job
+        if job.job_id not in self._started_once:
+            self._started_once.add(job.job_id)
+            self.metrics.registry.histogram("sim.queue_wait_s").observe(
+                queued_s
+            )
         self.log(
             EventKind.START, job.job_id, detail=workers,
             workers=workers, queued_s=queued_s,
+            **self._start_trace_extras(job),
         )
         self._schedule_completion_at(job, eta)
 
@@ -649,9 +791,11 @@ class Simulation:
             del self.running[job.job_id]
             if self.profiler is not None:
                 self.profiler.observe(job.spec, job.spec.duration)
+            self.metrics.registry.histogram("sim.jct_s").observe(job.jct)
             self.log(EventKind.FINISH, job.job_id, jct_s=job.jct)
             logger.debug("job %d finished at %.0f (jct %.0f s)",
                          job.job_id, self.now, job.jct)
+            self.note_trigger(TRIGGER_COMPLETION, job_id=job.job_id)
             self.trigger_schedule()
 
         return handler
@@ -690,6 +834,7 @@ class Simulation:
         self.log(EventKind.PREEMPT, job.job_id, cause=cause, workers=workers)
         logger.debug("job %d preempted at %.0f (cause=%s)",
                      job.job_id, self.now, cause)
+        self.note_trigger(TRIGGER_PREEMPT, job_id=job.job_id, cause=cause)
         self.trigger_schedule()
 
     def scale_in_worker_counts(self, job: Job, server_workers: Dict[str, int]):
@@ -788,6 +933,9 @@ class Simulation:
                 repair_time,
                 lambda sid=server_id: self._node_recovery(sid),
             )
+        self.note_trigger(
+            TRIGGER_NODE_FAILURE, server_id=server_id, cause=cause
+        )
         self.trigger_schedule()
         return True
 
@@ -801,6 +949,7 @@ class Simulation:
                 "resilience.node_downtime_s"
             ).observe(self.now - failed_at)
         self.trace("cluster.node_recovery", server_id=server_id)
+        self.note_trigger(TRIGGER_NODE_RECOVERY, server_id=server_id)
         self.trigger_schedule()
 
     # ------------------------------------------------------------------

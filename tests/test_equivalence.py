@@ -71,7 +71,7 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str, incremental: bool) -> Simulation:
+def run_scenario(name: str, incremental: bool, obs=None) -> Simulation:
     policy_fn, opts = SCENARIOS[name]
     specs = generate_workload(
         TraceConfig(
@@ -103,6 +103,7 @@ def run_scenario(name: str, incremental: bool) -> Simulation:
         inference_trace=trace,
         orchestrator=ResourceOrchestrator() if orchestrated else None,
         config=config,
+        obs=obs,
     )
     sim.run()
     return sim
@@ -146,6 +147,31 @@ def test_modes_produce_identical_logs(name, golden):
     assert fast.executor.plans_applied > 0
     assert legacy.executor.plans_applied > 0
     assert fast.executor.plans_rejected == 0
+
+
+def test_tracing_does_not_perturb_the_golden_log(golden):
+    """Observability must be read-only: a fully traced run (spans,
+    provenance, the lot) still produces the byte-identical Activity log
+    pinned by the golden fixture — and the instrumentation is live."""
+    from repro.obs import Observability, PROVENANCE_EVENT, SPAN_EVENT
+
+    obs = Observability.enabled()
+    sim = run_scenario("lyra_loaning", incremental=True, obs=obs)
+    assert digest(sim.activities) == golden["lyra_loaning"]["sha256"]
+    names = {e.name for e in obs.tracer.events}
+    assert SPAN_EVENT in names
+    assert PROVENANCE_EVENT in names
+
+
+def test_disabled_obs_keeps_golden_log(golden):
+    """An explicitly disabled bundle is equivalent to no bundle."""
+    from repro.obs import Observability
+
+    obs = Observability.disabled()
+    sim = run_scenario("lyra_elastic", incremental=True, obs=obs)
+    assert digest(sim.activities) == golden["lyra_elastic"]["sha256"]
+    assert len(obs.tracer) == 0
+    assert obs.phases.stats() == []
 
 
 def _regenerate() -> None:

@@ -11,12 +11,20 @@ from repro.cli import main
 from repro.elastic.controller import ElasticController
 from repro.obs import (
     Observability,
+    PROVENANCE_EVENT,
+    SPAN_EVENT,
     SUMMARY_EVENT,
+    TimelineStore,
     TraceFormatError,
     Tracer,
+    build_report,
+    diff_traces,
     inspect_trace,
     load_trace,
+    percentile,
+    render_diff,
     render_summary,
+    render_why,
     summarize,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -271,16 +279,25 @@ class TestEndToEnd:
             assert section in report
 
     def test_seeded_runs_produce_identical_event_streams(self):
-        streams = []
+        # obs.span events carry a wall-clock dur_ms, so they are pinned
+        # separately (structure only) below the exact stream comparison.
+        streams, spans = [], []
         for _ in range(2):
             obs = Observability.enabled()
             tiny_obs_run(obs)
+            events = obs.tracer.sorted_events()
             streams.append([
                 (e.ts, e.name, e.job_id, json.dumps(e.args, sort_keys=True,
                                                     default=str))
-                for e in obs.tracer.sorted_events()
+                for e in events if e.cat != "span"
+            ])
+            spans.append([
+                (e.ts, e.args["span"], e.args["span_id"],
+                 e.args["parent_id"])
+                for e in events if e.cat == "span"
             ])
         assert streams[0] == streams[1]
+        assert spans[0] and spans[0] == spans[1]
 
     def test_inspect_deterministic_outside_wall_clock(self, tmp_path):
         # Everything repro inspect prints before the phase-timing table
@@ -320,11 +337,40 @@ class TestInspectLoader:
         with pytest.raises(TraceFormatError):
             load_trace(str(path))
 
-    def test_garbage_line_rejected(self, tmp_path):
+    def test_garbage_lines_skipped_and_counted(self, tmp_path):
+        # A killed run leaves a truncated last line; that must not make
+        # the whole trace unreadable.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"name": "job.submit", "ts": 0}\nnot json\n')
-        with pytest.raises(TraceFormatError, match=":2:"):
+        path.write_text(
+            '{"name": "job.submit", "ts": 0}\n'
+            'not json\n'
+            '{"name": "job.start", "ts": 1}\n'
+            '{"name": "job.finish", "ts": 2, "args": {"jct_s":\n'
+        )
+        trace = load_trace(str(path))
+        assert [e["name"] for e in trace["events"]] \
+            == ["job.submit", "job.start"]
+        assert trace["skipped_lines"] == 2
+        summary = summarize(trace)
+        assert summary.skipped_lines == 2
+        assert "skipped 2 corrupt lines" in render_summary(summary)
+
+    def test_fully_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\nstill not json\n")
+        with pytest.raises(TraceFormatError, match="no parseable"):
             load_trace(str(path))
+
+    def test_unknown_event_types_surfaced(self):
+        trace = {"events": [
+            {"ts": 0.0, "name": "job.submit"},
+            {"ts": 1.0, "name": "mystery.event"},
+            {"ts": 2.0, "name": "mystery.event"},
+        ], "summary": {}}
+        summary = summarize(trace)
+        assert summary.unknown_events == {"mystery.event": 2}
+        assert "unrecognized event types: mystery.event ×2" \
+            in render_summary(summary)
 
     def test_chrome_document_auto_detected(self, tmp_path):
         tracer = Tracer()
@@ -364,6 +410,368 @@ class TestInspectLoader:
         assert "cause reclaim" in report
         assert "job 1 ×2" in report
         assert "0.250" in report
+
+
+class TestSharedPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_single_sample_exact_for_any_pct(self):
+        for pct in (0, 37.5, 50, 100):
+            assert percentile([4.2], pct) == 4.2
+
+    def test_extremes_are_exact_min_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile(values, 25) == pytest.approx(1.75)
+
+    def test_invalid_pct_rejected(self):
+        for bad in (-1, 101, float("nan")):
+            with pytest.raises(ValueError):
+                percentile([1.0], bad)
+
+    def test_simulator_metrics_share_the_helper(self):
+        # bench_table8_percentiles consumes the simulator summaries, so
+        # one percentile definition must serve both layers
+        from repro.simulator.metrics import percentile as sim_percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        hist = MetricsRegistry().histogram("x")
+        for v in values:
+            hist.observe(v)
+        for pct in (0, 25, 50, 95, 100):
+            assert hist.percentile(pct) == sim_percentile(values, pct) \
+                == percentile(values, pct)
+
+
+class TestSpanTracing:
+    @pytest.fixture(scope="class")
+    def spans(self):
+        obs = Observability.enabled()
+        tiny_obs_run(obs)
+        events = [e for e in obs.tracer.sorted_events()
+                  if e.name == SPAN_EVENT]
+        return obs, events
+
+    def test_phases_promoted_to_spans(self, spans):
+        _, events = spans
+        names = {e.args["span"] for e in events}
+        assert {"scheduler.tick", "scheduler.decide",
+                "plan.validate", "plan.commit"} <= names
+
+    def test_span_ids_unique_and_parents_resolve(self, spans):
+        _, events = spans
+        ids = [e.args["span_id"] for e in events]
+        assert len(ids) == len(set(ids))
+        known = set(ids)
+        assert all(e.args["parent_id"] is None
+                   or e.args["parent_id"] in known for e in events)
+
+    def test_decide_nested_under_scheduler_tick(self, spans):
+        _, events = spans
+        by_id = {e.args["span_id"]: e for e in events}
+        decide = [e for e in events
+                  if e.args["span"] == "scheduler.decide"]
+        assert decide
+        for e in decide:
+            parent = by_id[e.args["parent_id"]]
+            assert parent.args["span"] == "scheduler.tick"
+
+    def test_chrome_export_renders_spans_on_own_track(self, spans):
+        obs, events = spans
+        import io
+
+        buf = io.StringIO()
+        obs.tracer.export_chrome(buf)
+        doc = json.loads(buf.getvalue())
+        lanes = [e for e in doc["traceEvents"]
+                 if e.get("pid") == 2 and e.get("ph") == "X"]
+        assert len(lanes) == len(events)
+        assert all(lane["dur"] >= 1 for lane in lanes)
+
+    def test_disabled_profiler_emits_no_spans(self):
+        obs = Observability.disabled()
+        tiny_obs_run(obs)
+        assert len(obs.tracer) == 0
+        assert obs.phases.stats() == []
+
+
+class TestProvenanceLedger:
+    @pytest.fixture(scope="class")
+    def ledger(self):
+        obs = Observability.enabled()
+        tiny_obs_run(obs)
+        events = obs.tracer.events
+        provs = [e for e in events if e.name == PROVENANCE_EVENT]
+        plans = [e for e in events if e.name == "scheduler.plan"]
+        spans = [e for e in events if e.name == SPAN_EVENT]
+        return provs, plans, spans
+
+    def test_every_committed_plan_has_provenance(self, ledger):
+        provs, plans, _ = ledger
+        assert provs and plans
+        assert {e.args["plan_id"] for e in provs} \
+            == {e.args["plan_id"] for e in plans}
+
+    def test_records_carry_policy_triggers_pricing_actions(self, ledger):
+        provs, _, _ = ledger
+        for e in provs:
+            assert e.args["policy"]
+            assert isinstance(e.args["triggers"], list)
+            assert "pricing" in e.args
+            assert e.args["actions"]
+        kinds = {t["kind"] for e in provs for t in e.args["triggers"]}
+        assert "arrival" in kinds
+
+    def test_lyra_epochs_note_mckp_inputs(self, ledger):
+        provs, _, _ = ledger
+        noted = [e for e in provs
+                 if e.args["policy"] == "lyra" and e.args.get("inputs")]
+        assert noted
+        assert any("mckp_admitted" in e.args["inputs"] for e in noted)
+
+    def test_provenance_span_links_resolve(self, ledger):
+        provs, _, spans = ledger
+        span_ids = {e.args["span_id"] for e in spans}
+        linked = [e for e in provs if e.args.get("span_id") is not None]
+        assert linked
+        assert all(e.args["span_id"] in span_ids for e in linked)
+
+    def test_untraced_run_allocates_no_provenance(self, monkeypatch):
+        # the zero-cost-when-disabled contract, asserted structurally:
+        # a run without tracing must never construct a Provenance
+        import repro.core.actions as actions_mod
+        import repro.simulator.simulation as sim_mod
+
+        calls = []
+
+        class Spy:
+            def __init__(self, *args, **kwargs):
+                calls.append((args, kwargs))
+
+        monkeypatch.setattr(sim_mod, "Provenance", Spy)
+        monkeypatch.setattr(actions_mod, "Provenance", Spy)
+        tiny_obs_run()  # default bundle: tracing off
+        assert calls == []
+
+    def test_untraced_run_keeps_no_trigger_state(self):
+        from repro.scenarios import build_sim
+
+        setup = default_setup(
+            num_jobs=30, days=0.25, training_servers=4,
+            inference_servers=6, seed=3,
+        )
+        sim = build_sim(setup, "lyra")
+        sim.run()
+        assert sim._pending_triggers == []
+        assert sim._dropped_triggers == 0
+        assert len(sim.tracer) == 0
+
+
+@pytest.fixture(scope="module")
+def chaos_trace(tmp_path_factory):
+    """A traced chaos run that exercises every causal path: outage- and
+    reclaim-caused preemptions, loans, stragglers, a flash crowd."""
+    from repro.faults import resolve_plan
+
+    setup = default_setup(
+        num_jobs=120, days=0.5, training_servers=4, inference_servers=10,
+        seed=2, target_load=1.6,
+    )
+    obs = Observability.enabled()
+    run_scheme(
+        setup, "lyra", seed=2,
+        sim_overrides={"fault_plan": resolve_plan("chaos")}, obs=obs,
+    )
+    path = tmp_path_factory.mktemp("chaos") / "chaos.jsonl"
+    obs.export_trace(str(path))
+    return str(path)
+
+
+class TestTimelineAndWhy:
+    @pytest.fixture(scope="class")
+    def store(self, chaos_trace):
+        return TimelineStore.from_file(chaos_trace)
+
+    def _explanation_for(self, store, job_id, transition):
+        (expl,) = [e for e in store.why(job_id)
+                   if e.transition is transition]
+        return expl
+
+    def test_every_preemption_has_a_causal_chain(self, store):
+        preempted = [
+            (tl.job_id, tr) for tl in store.jobs.values()
+            for tr in tl.transitions if tr.state == "preempted"
+        ]
+        assert preempted, "chaos run must preempt something"
+        for job_id, tr in preempted:
+            chain = self._explanation_for(store, job_id, tr).chain
+            # the what plus at least one because
+            assert len(chain) >= 2
+
+    def test_reclaim_preemptions_link_plan_and_trigger(self, store):
+        found = 0
+        for tl in store.jobs.values():
+            for tr in tl.transitions:
+                if tr.state != "preempted" \
+                        or tr.detail.get("cause") != "reclaim":
+                    continue
+                found += 1
+                text = " ".join(
+                    s.text for s in
+                    self._explanation_for(store, tl.job_id, tr).chain
+                )
+                assert "plan #" in text
+                assert "trigger:" in text
+        assert found, "chaos seed must produce reclaim preemptions"
+
+    def test_node_failure_preemptions_blame_the_fault(self, store):
+        texts = []
+        for tl in store.jobs.values():
+            for tr in tl.transitions:
+                if tr.state == "preempted" \
+                        and tr.detail.get("cause") == "node_failure":
+                    texts.append(" ".join(
+                        s.text for s in
+                        self._explanation_for(store, tl.job_id, tr).chain
+                    ))
+        assert texts
+        assert all("failed" in t for t in texts)
+        assert any("fault injection" in t or "MTBF" in t for t in texts)
+
+    def test_dispatches_record_placement_and_loan_status(self, store):
+        starts = [tr for tl in store.jobs.values()
+                  for tr in tl.transitions if tr.state == "running"]
+        assert starts
+        assert all(tr.detail.get("servers") for tr in starts)
+        assert any(tr.detail.get("gpu_types") for tr in starts)
+        assert any(tr.detail.get("onloan") for tr in starts)
+
+    def test_server_timelines_track_loans_and_health(self, store):
+        states = {tr.state for tl in store.servers.values()
+                  for tr in tl.transitions}
+        assert "loaned" in states
+        assert "down" in states and "up" in states
+
+    def test_at_selects_the_state_in_effect(self, store):
+        job_id = min(store.jobs)
+        timeline = store.jobs[job_id]
+        last = timeline.transitions[-1]
+        story = store.why(job_id, at=last.ts + 1.0)
+        assert len(story) == 1 and story[0].transition is last
+        first = timeline.transitions[0]
+        assert store.why(job_id, at=first.ts - 1.0) == []
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(KeyError):
+            store.why(999999)
+
+    def test_render_why_narrates(self, store):
+        job_id = next(
+            tl.job_id for tl in store.jobs.values()
+            if any(t.state == "preempted" for t in tl.transitions)
+        )
+        text = render_why(job_id, store.why(job_id))
+        assert f"== why: job {job_id} ==" in text
+        assert "preempted" in text
+
+
+class TestRunReport:
+    def test_byte_deterministic_across_same_seed_runs(self, tmp_path):
+        reports = []
+        for i in range(2):
+            obs = Observability.enabled()
+            tiny_obs_run(obs)
+            path = tmp_path / f"r{i}.jsonl"
+            obs.export_trace(str(path))
+            reports.append(build_report(load_trace(str(path))))
+        assert reports[0] == reports[1]
+
+    def test_sections_and_percentiles(self, chaos_trace):
+        text = build_report(load_trace(chaos_trace))
+        for section in ("# Run report", "## Job funnel",
+                        "## Completion and queueing", "## Utilization",
+                        "## Loan / reclaim timeline", "## Preemptions",
+                        "## Decision ledger", "## Phase breakdown",
+                        "## Resilience"):
+            assert section in text
+        assert "| JCT |" in text and "| queue wait |" in text
+        assert "p95" in text
+        assert "reclaim" in text  # preemption causes include reclaims
+
+    def test_excludes_wall_clock(self, chaos_trace):
+        # phase table is call counts only; spans never appear
+        text = build_report(load_trace(chaos_trace))
+        assert "total_s" not in text
+        assert "mean_ms" not in text
+        assert "dur_ms" not in text
+
+    def test_falls_back_to_event_derived_percentiles(self):
+        trace = {"events": [
+            {"ts": 0.0, "name": "job.submit", "job_id": 1},
+            {"ts": 5.0, "name": "job.start", "job_id": 1,
+             "args": {"queued_s": 5.0}},
+            {"ts": 10.0, "name": "job.finish", "job_id": 1,
+             "args": {"jct_s": 10.0}},
+        ], "summary": {}}
+        text = build_report(trace)
+        assert "| JCT | 1 | 10.0 |" in text
+        assert "| queue wait | 1 | 5.0 |" in text
+
+
+class TestDiffTraces:
+    def test_identical_traces(self):
+        trace = {"events": [
+            {"ts": 0.0, "name": "job.submit", "job_id": 1, "args": {}},
+        ], "summary": {"metrics": {"counters": {"sim.submissions": 1}}}}
+        diff = diff_traces(trace, trace)
+        assert diff.identical
+        assert "identical" in render_diff(diff)
+
+    def test_divergence_located(self):
+        a = {"events": [
+            {"ts": 0.0, "name": "job.submit", "job_id": 1, "args": {}},
+            {"ts": 1.0, "name": "job.start", "job_id": 1,
+             "args": {"workers": 2}},
+        ], "summary": {}}
+        b = json.loads(json.dumps(a))
+        b["events"][1]["args"]["workers"] = 3
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        assert diff.divergence_index == 1
+        out = render_diff(diff, "a", "b")
+        assert "first divergence at event #1" in out
+
+    def test_span_events_ignored(self):
+        a = {"events": [{"ts": 0.0, "name": "obs.span", "cat": "span",
+                         "args": {"dur_ms": 1.0}}], "summary": {}}
+        b = {"events": [{"ts": 0.0, "name": "obs.span", "cat": "span",
+                         "args": {"dur_ms": 9.0}}], "summary": {}}
+        assert diff_traces(a, b).identical
+
+    def test_length_mismatch_is_a_divergence(self):
+        a = {"events": [
+            {"ts": 0.0, "name": "job.submit", "job_id": 1, "args": {}},
+        ], "summary": {}}
+        b = {"events": [], "summary": {}}
+        diff = diff_traces(a, b)
+        assert diff.divergence_index == 0
+        assert diff.divergence_b is None
+        assert "<end of trace>" in render_diff(diff)
+
+    def test_metric_deltas_reported(self):
+        a = {"events": [], "summary": {
+            "metrics": {"counters": {"sim.preemptions": 3}}}}
+        b = {"events": [], "summary": {
+            "metrics": {"counters": {"sim.preemptions": 5}}}}
+        diff = diff_traces(a, b)
+        assert diff.metric_deltas == {"sim.preemptions": (3, 5)}
+        assert not diff.identical
 
 
 class TestLogging:
@@ -435,3 +843,51 @@ class TestCLIObservability:
         path.write_text("definitely not json\n")
         assert main(["inspect", str(path)]) == 2
         assert "cannot parse" in capsys.readouterr().err
+
+    def test_run_report_why_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        rc = main([
+            "run", "--scheme", "lyra", "--jobs", "40", "--days", "0.25",
+            "--training-servers", "4", "--inference-servers", "6",
+            "--trace", str(path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report" in out
+        assert "## Decision ledger" in out
+
+        md = tmp_path / "report.md"
+        assert main(["report", str(path), "--out", str(md)]) == 0
+        capsys.readouterr()
+        assert "# Run report" in md.read_text()
+
+        job_id = next(e["job_id"] for e in load_trace(str(path))["events"]
+                      if e["name"] == "job.submit")
+        assert main(["why", str(path), str(job_id)]) == 0
+        out = capsys.readouterr().out
+        assert f"== why: job {job_id} ==" in out
+        assert "job submitted" in out
+
+        assert main(["why", str(path), "999999"]) == 2
+        assert "does not appear" in capsys.readouterr().err
+
+    def test_why_missing_file(self, capsys):
+        assert main(["why", "/nonexistent/trace.jsonl", "1"]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_inspect_diff_cli(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"ts": 0.0, "name": "job.submit", "job_id": 1}\n')
+        b.write_text('{"ts": 0.0, "name": "job.submit", "job_id": 2}\n')
+        assert main(["inspect", "--diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["inspect", "--diff", str(a), str(b)]) == 1
+        assert "first divergence" in capsys.readouterr().out
+        assert main(["inspect", "--diff", str(a)]) == 2
+        assert "exactly two" in capsys.readouterr().err
+        assert main(["inspect", str(a), str(b)]) == 2
+        assert "one trace" in capsys.readouterr().err
