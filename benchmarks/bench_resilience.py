@@ -25,6 +25,7 @@ import json
 import os
 
 from benchmarks.bench_util import emit, get_setup, run_cached, scale_name
+from repro.ioutil import atomic_write
 from repro.faults import (
     FaultPlan,
     FlashCrowd,
@@ -159,7 +160,7 @@ def build():
 
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
-    with open(os.path.join(results_dir, "bench_resilience.json"), "w") as fh:
+    with atomic_write(os.path.join(results_dir, "bench_resilience.json")) as fh:
         json.dump(artifact, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return rows, artifact

@@ -38,6 +38,7 @@ from repro.cluster.cluster import (  # noqa: E402
     make_inference_cluster,
     make_training_cluster,
 )
+from repro.ioutil import atomic_write  # noqa: E402
 from repro.obs import Observability  # noqa: E402
 from repro.obs.profiling import (  # noqa: E402
     PHASE_SCHEDULER_TICK,
@@ -195,7 +196,7 @@ def main(argv=None) -> int:
             min(c["speedup"] for c in top) if top else None
         ),
     }
-    with open(args.out, "w") as fh:
+    with atomic_write(args.out) as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.ioutil import atomic_write
 from repro.scenarios import ExperimentSetup, default_setup, run_scheme
 from repro.simulator.metrics import SimulationMetrics, reduction
 
@@ -117,7 +118,7 @@ def emit(name: str, title: str, headers: Sequence[str],
     print("\n" + text)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
-    with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
+    with atomic_write(os.path.join(results_dir, f"{name}.txt")) as fh:
         fh.write(text + "\n")
     return text
 

@@ -47,6 +47,7 @@ from typing import Optional, Sequence
 
 from repro import paper
 from repro.analysis import compare_to_paper, render_report
+from repro.ioutil import atomic_write, atomic_write_text
 from repro.obs import (
     Observability,
     TraceFormatError,
@@ -120,6 +121,23 @@ def _fault_overrides(args) -> dict:
     if args.failure_seed is not None:
         overrides["failure_seed"] = args.failure_seed
     return overrides
+
+
+def _add_recovery_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="durable-state directory (snapshots + WAL); enables "
+             "checkpointing",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=1800.0, metavar="SECONDS",
+        help="simulated seconds between snapshots (default: 1800)",
+    )
+    parser.add_argument(
+        "--activities-out", default=None, metavar="FILE",
+        help="write the Activity log, one line per event, for "
+             "byte-comparison across runs",
+    )
 
 
 def _make_setup(args):
@@ -196,7 +214,33 @@ def _print_plan_summary(sim) -> None:
 # ----------------------------------------------------------------------
 # commands
 # ----------------------------------------------------------------------
+def _write_activities(sim, path: str) -> None:
+    """Dump the Activity log, one line per event, in the exact format the
+    equivalence digest hashes — so `cmp a.log b.log` is the byte-identity
+    check.  Written atomically: a kill mid-dump leaves no partial file."""
+    with atomic_write(path) as fh:
+        for a in sim.activities:
+            fh.write(f"{a.time!r}|{a.kind.value}|{a.job_id!r}|{a.detail!r}\n")
+    print(f"wrote {len(sim.activities)} activity lines to {path}")
+
+
+def _print_recovery_summary(sim) -> None:
+    registry = sim.obs.registry
+    wal = sim.recovery.wal if sim.recovery is not None else None
+    print(f"  durable  checkpoints {registry.counter('recovery.checkpoints').value}   "
+          f"recoveries {registry.counter('recovery.recoveries').value}   "
+          f"wal replayed {registry.counter('recovery.wal_entries_replayed').value}"
+          + (f"   wal appended {wal.appended}" if wal is not None else ""))
+
+
 def cmd_run(args) -> int:
+    from repro.faults.crash import SimulatedCrash
+
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("--resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
+        return _resume_run(args, args.checkpoint_dir)
     setup = _make_setup(args)
     specs = None
     if getattr(args, "replay", None):
@@ -210,17 +254,31 @@ def cmd_run(args) -> int:
     explain = getattr(args, "explain", False)
     if explain:
         sim_overrides["record_plans"] = True
+    if args.activities_out:
+        sim_overrides["record_activities"] = True
     sim = build_sim(
         setup, args.scheme, scenario=args.scenario, seed=args.seed,
         scaling_model=args.scaling_model, specs=specs, obs=obs,
         sim_overrides=sim_overrides or None,
     )
-    metrics = sim.run()
+    if args.checkpoint_dir:
+        _attach_recovery(sim, args)
+    elif args.crash_at is not None:
+        print("--crash-at requires --checkpoint-dir (there would be "
+              "nothing to recover from)", file=sys.stderr)
+        return 2
+    try:
+        metrics = sim.run()
+    except SimulatedCrash as exc:
+        print(f"simulated crash: {exc}; recover with "
+              f"`repro recover {args.checkpoint_dir}`", file=sys.stderr)
+        return 3
+    has_faults = any(
+        k in sim_overrides for k in ("fault_plan", "node_mtbf")
+    )
     if args.json:
         data = _metrics_dict(metrics)
-        if sim_overrides and not (
-            len(sim_overrides) == 1 and explain
-        ):
+        if has_faults:
             from repro.faults import resilience_snapshot
 
             data["resilience"] = resilience_snapshot(
@@ -232,7 +290,7 @@ def cmd_run(args) -> int:
                          sort_keys="resilience" in data))
     else:
         _print_metrics(args.scheme, metrics)
-        if sim_overrides and not (len(sim_overrides) == 1 and explain):
+        if has_faults:
             print(f"  faults   node failures {metrics.node_failures}   "
                   f"preemptions {metrics.preemptions}")
         if explain:
@@ -242,7 +300,53 @@ def cmd_run(args) -> int:
         print(f"wrote {records} trace records to {args.trace} "
               f"({args.trace_format}); summarize with "
               f"`repro inspect {args.trace}`")
+    if args.activities_out:
+        _write_activities(sim, args.activities_out)
+    if sim.recovery is not None and not args.json:
+        _print_recovery_summary(sim)
     return 0
+
+
+def _attach_recovery(sim, args):
+    from repro.faults.crash import CrashInjector, CrashPoint
+    from repro.recovery import RecoveryManager
+
+    crash = None
+    if args.crash_at is not None:
+        crash = CrashInjector(
+            [CrashPoint(args.crash_at, args.crash_barrier)]
+        )
+    manager = RecoveryManager(
+        args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        crash=crash,
+    )
+    manager.attach(sim)
+    return manager
+
+
+def _resume_run(args, directory: str) -> int:
+    from repro.recovery import RecoveryError, RecoveryManager
+
+    try:
+        sim = RecoveryManager.recover(directory)
+    except RecoveryError as exc:
+        print(f"cannot recover: {exc}", file=sys.stderr)
+        return 2
+    metrics = sim.resume()
+    if args.json:
+        print(json.dumps(_metrics_dict(metrics), indent=2))
+    else:
+        _print_metrics("recovered", metrics)
+        _print_recovery_summary(sim)
+    if getattr(args, "activities_out", None):
+        _write_activities(sim, args.activities_out)
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Restore a killed run from its checkpoint directory and finish it."""
+    return _resume_run(args, args.directory)
 
 
 def cmd_chaos(args) -> int:
@@ -266,7 +370,9 @@ def cmd_chaos(args) -> int:
                 parts.append(
                     f"launch p={plan.launch_failures.probability:g}"
                 )
-            print(f"  {name:<12} {', '.join(parts) or 'no faults'}")
+            if plan.crashes:
+                parts.append(f"{len(plan.crashes)} process crash(es)")
+            print(f"  {name:<14} {', '.join(parts) or 'no faults'}")
         return 0
 
     plan = resolve_plan(args.plan)
@@ -274,16 +380,19 @@ def cmd_chaos(args) -> int:
         plan = plan.with_seed(args.failure_seed)
     setup = _make_setup(args)
     obs = Observability.enabled() if args.trace else None
-    metrics = run_scheme(
-        setup, args.scheme, scenario=args.scenario, seed=args.seed,
-        scaling_model=args.scaling_model,
-        sim_overrides={"fault_plan": plan}, obs=obs,
-    )
+    if plan.crashes:
+        sim, metrics = _run_with_crashes(args, setup, plan, obs)
+    else:
+        sim = None
+        metrics = run_scheme(
+            setup, args.scheme, scenario=args.scenario, seed=args.seed,
+            scaling_model=args.scaling_model,
+            sim_overrides={"fault_plan": plan}, obs=obs,
+        )
     snap = resilience_snapshot(metrics, plan=plan)
     payload = json.dumps(snap, indent=2, sort_keys=True)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(payload + "\n")
+        atomic_write_text(args.out, payload + "\n")
         print(f"wrote resilience snapshot to {args.out}")
     if args.json:
         print(payload)
@@ -313,14 +422,79 @@ def cmd_chaos(args) -> int:
                   f"exhausted {launch['failures']}")
         if snap["degraded_ticks"]:
             print(f"  loaning  degraded ticks {snap['degraded_ticks']}")
+        rec = snap["recovery"]
+        if rec["recoveries"] or rec["checkpoints"]:
+            ttrr = rec["time_to_recover_s"]
+            mean = f"   mean {ttrr['mean'] * 1000:,.1f} ms" \
+                if ttrr["count"] else ""
+            print(f"  durable  checkpoints {rec['checkpoints']}   "
+                  f"recoveries {rec['recoveries']}   "
+                  f"wal replayed {rec['wal_entries_replayed']}   "
+                  f"snapshot {rec['snapshot_bytes']:,.0f} B{mean}")
         jct = snap["jct"]
         print(f"  jct      mean {jct['mean']:>10,.1f} s   "
               f"p95 {jct['p95']:>10,.1f}   completed {snap['completed']:.3f}"
               f"   audits {snap['audits']}")
     if obs is not None:
-        records = obs.export_trace(args.trace, format=args.trace_format)
+        # after a crash-recovery loop the live bundle is the restored
+        # sim's, not the one this process originally created
+        bundle = sim.obs if sim is not None else obs
+        records = bundle.export_trace(args.trace, format=args.trace_format)
         print(f"wrote {records} trace records to {args.trace}")
     return 0
+
+
+def _run_with_crashes(args, setup, plan, obs):
+    """Chaos harness for plans with a process-kill schedule: run under a
+    checkpointing RecoveryManager, and on every simulated crash discard
+    the dead simulation and recover from disk — in-process, so one chaos
+    invocation reports the whole kill-recover-resume story."""
+    import shutil
+    import tempfile
+
+    from repro.faults.crash import CrashInjector, SimulatedCrash
+    from repro.recovery import RecoveryError, RecoveryManager
+
+    workdir = args.checkpoint_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    injector = CrashInjector(plan.crashes)
+
+    def fresh_sim():
+        sim = build_sim(
+            setup, args.scheme, scenario=args.scenario, seed=args.seed,
+            scaling_model=args.scaling_model,
+            sim_overrides={"fault_plan": plan}, obs=obs,
+        )
+        manager = RecoveryManager(
+            workdir, checkpoint_every=args.checkpoint_every, crash=injector
+        )
+        manager.attach(sim)
+        return sim
+
+    sim = fresh_sim()
+    resumed = False
+    try:
+        while True:
+            try:
+                metrics = sim.resume() if resumed else sim.run()
+                return sim, metrics
+            except SimulatedCrash as exc:
+                print(f"  [chaos] {exc}; recovering "
+                      f"({len(injector.remaining())} kill(s) left)")
+                try:
+                    sim = RecoveryManager.recover(workdir)
+                    resumed = True
+                except RecoveryError:
+                    # died before the first checkpoint: start over (the
+                    # WAL survives; the rerun replays it as no-ops)
+                    sim = fresh_sim()
+                    resumed = False
+                else:
+                    # the surviving schedule lives in the injector this
+                    # process kept; a restored sim has no crash armed
+                    sim.recovery.arm_crash(injector)
+    finally:
+        if not args.checkpoint_dir:
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 def cmd_whatif(args) -> int:
@@ -475,7 +649,7 @@ def cmd_trace(args) -> int:
         "elastic_jobs": sum(1 for s in workload.specs if s.elastic),
     }
     if args.out:
-        with open(args.out, "w") as fh:
+        with atomic_write(args.out) as fh:
             json.dump(
                 {
                     "stats": stats,
@@ -520,8 +694,7 @@ def cmd_report(args) -> int:
             print(f"cannot parse trace: {exc}", file=sys.stderr)
             return 2
         if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text)
+            atomic_write_text(args.out, text)
             print(f"wrote report to {args.out}")
         else:
             print(text, end="")
@@ -644,7 +817,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault plan: a builtin name (see `repro chaos "
                             "--list-plans`) or a YAML/JSON plan file")
     _add_fault_args(run_p)
+    _add_recovery_args(run_p)
+    run_p.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint-dir instead of "
+                            "starting a fresh run")
+    run_p.add_argument("--crash-at", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill the run at the first matching recovery "
+                            "barrier at/after this simulated time "
+                            "(exit code 3; recover with `repro recover`)")
+    run_p.add_argument("--crash-barrier", default="between_events",
+                       choices=["between_events", "mid_epoch", "post_wal"],
+                       help="barrier class for --crash-at")
     run_p.set_defaults(func=cmd_run)
+
+    recover_p = sub.add_parser(
+        "recover",
+        help="restore a killed run from its checkpoint directory and "
+             "finish it",
+    )
+    recover_p.add_argument("directory",
+                           help="checkpoint directory of the dead run "
+                                "(run --checkpoint-dir)")
+    recover_p.add_argument("--json", action="store_true")
+    recover_p.add_argument("--activities-out", default=None, metavar="FILE",
+                           help="write the finished Activity log here "
+                                "(byte-comparable to an uninterrupted "
+                                "run's)")
+    _add_log_arg(recover_p)
+    recover_p.set_defaults(func=cmd_recover)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -671,6 +872,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="export a structured event trace to this path")
     chaos_p.add_argument("--trace-format", default="jsonl",
                          choices=["jsonl", "chrome"])
+    chaos_p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="keep the crash harness's snapshots + WAL "
+                              "here (default: a temp dir, removed after)")
+    chaos_p.add_argument("--checkpoint-every", type=float, default=1800.0,
+                         metavar="SECONDS",
+                         help="snapshot cadence for plans with process "
+                              "crashes (default: 1800)")
     chaos_p.set_defaults(func=cmd_chaos)
 
     whatif_p = sub.add_parser(

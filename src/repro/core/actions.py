@@ -562,6 +562,13 @@ class PlanExecutor:
         #: True only while a commit is mid-flight; fault audits assert
         #: this is never observable from an event handler
         self.in_flight = False
+        #: write-ahead plan journal (:class:`repro.recovery.wal.PlanWAL`);
+        #: None — the default — skips all journaling at one attribute
+        #: check per applied plan
+        self.wal = None
+        #: crash-barrier probe (:class:`repro.faults.crash.CrashInjector`),
+        #: called with the barrier name at the commit-path kill points
+        self.crash_probe = None
 
     # -- entry point -----------------------------------------------------
     def apply(self, plan: EpochPlan, dry_run: bool = False) -> PlanReceipt:
@@ -590,12 +597,24 @@ class PlanExecutor:
             if txn is not None:
                 txn.rollback()
             raise
+        # Write-ahead journaling: the plan is durable *before* any of its
+        # effects land, so a crash between here and the next snapshot is
+        # recoverable (and the resumed run's re-derived plan is verified
+        # against this entry instead of being double-committed).
+        if self.wal is not None and plan.actions:
+            self.wal.append(self.plans_applied + 1, plan)
+            if self.crash_probe is not None:
+                self.crash_probe("post_wal")
         self.in_flight = True
         try:
             with phases.phase(PHASE_PLAN_COMMIT):
-                for action in plan.actions:
+                for i, action in enumerate(plan.actions):
                     self._commit(action)
                     self.actions_applied += 1
+                    if i == 0 and self.crash_probe is not None:
+                        # the harshest kill point: one action of a
+                        # multi-action plan has already mutated state
+                        self.crash_probe("mid_epoch")
         finally:
             self.in_flight = False
         if txn is not None:

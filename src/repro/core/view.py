@@ -114,6 +114,20 @@ class ClusterView:
             cluster.attach_view(self)
 
     # ------------------------------------------------------------------
+    # serialization: the version-keyed caches are pure functions of
+    # (indexed state, version) and recompute on first miss, so snapshots
+    # drop them.  The indexed state itself IS pickled — rebuilding it
+    # would re-key the bucket dicts in cluster order instead of the
+    # delta-evolved order a continuous run carries, and restore must be
+    # bit-faithful to that run.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_pending_cache"] = {}
+        state["_cost_cache"] = None
+        return state
+
+    # ------------------------------------------------------------------
     # full rebuild (initialisation and the property-test reference)
     # ------------------------------------------------------------------
     def rebuild(self) -> None:

@@ -46,6 +46,9 @@ class FaultInjector:
         self._rng_target = random.Random(f"{plan.seed}:target")
         self._rng_launch = random.Random(f"{plan.seed}:launch")
         self.audits = 0
+        #: the unwrapped predictor, kept so snapshot restore can re-wrap
+        #: it instead of pickling the bias closure
+        self._predictor_orig = None
 
     # ------------------------------------------------------------------
     def install(self) -> None:
@@ -57,24 +60,82 @@ class FaultInjector:
             sim.inference_trace = sim.inference_trace.with_spikes(
                 [(f.at, f.duration, f.magnitude) for f in plan.flash_crowds]
             )
-            for crowd in plan.flash_crowds:
+            for i, crowd in enumerate(plan.flash_crowds):
                 sim.engine.schedule(
                     crowd.at,
                     lambda c=crowd: self._flash_crowd_marker(c),
+                    tag=("fault", "flash", i),
                 )
         if plan.process is not None:
             self._arm_process()
-        for outage in plan.outages:
+        for i, outage in enumerate(plan.outages):
             sim.engine.schedule(
-                outage.at, lambda o=outage: self._outage(o)
+                outage.at, lambda o=outage: self._outage(o),
+                tag=("fault", "outage", i),
             )
-        for straggler in plan.stragglers:
+        for i, straggler in enumerate(plan.stragglers):
             sim.engine.schedule(
-                straggler.at, lambda s=straggler: self._straggler_start(s)
+                straggler.at, lambda s=straggler: self._straggler_start(s),
+                tag=("fault", "straggler", i),
             )
         if plan.predictor_outages or plan.predictor_biases:
             self._install_predictor_faults()
         if plan.launch_failures is not None:
+            self._install_launch_gate()
+
+    # ------------------------------------------------------------------
+    # snapshot support (repro.recovery)
+    # ------------------------------------------------------------------
+    def resolve_tag(self, tag):
+        """Rebuild the callback for one of this injector's event tags.
+
+        The per-family RNGs (and everything else the callbacks read) are
+        restored as part of the simulation state, so a resolved callback
+        continues exactly where the snapshotted one would have.
+        """
+        family = tag[1]
+        if family == "flash":
+            crowd = self.plan.flash_crowds[tag[2]]
+            return lambda c=crowd: self._flash_crowd_marker(c)
+        if family == "outage":
+            outage = self.plan.outages[tag[2]]
+            return lambda o=outage: self._outage(o)
+        if family == "straggler":
+            straggler = self.plan.stragglers[tag[2]]
+            return lambda s=straggler: self._straggler_start(s)
+        if family == "straggler_end":
+            block = list(tag[2])
+            return lambda b=block: self._straggler_end(b)
+        if family == "process":
+            return self._process_fire
+        raise ValueError(f"unknown fault event tag {tag!r}")
+
+    def strip_for_snapshot(self) -> None:
+        """Detach the closure-based hooks pickle cannot serialize.
+
+        The inverse of :meth:`rewire`: called with the simulation
+        otherwise quiescent, it removes the launch gate and predictor
+        wrappers (keeping the unwrapped predictor so rewiring does not
+        double-wrap).  RNG streams and scheduled events stay — they are
+        serialized with the rest of the state.
+        """
+        self.sim.rm.launch_gate = None
+        orchestrator = self.sim.orchestrator
+        if orchestrator is not None:
+            orchestrator.predictor_down = None
+            if self._predictor_orig is not None:
+                orchestrator.predictor = self._predictor_orig
+
+    def rewire(self) -> None:
+        """Re-install the closure hooks after a snapshot or a restore.
+
+        Only the unserializable wiring is redone; nothing is scheduled
+        and no RNG is re-seeded, so a restored run draws the exact
+        stream suffix the uninterrupted run would have.
+        """
+        if self.plan.predictor_outages or self.plan.predictor_biases:
+            self._install_predictor_faults()
+        if self.plan.launch_failures is not None:
             self._install_launch_gate()
 
     # ------------------------------------------------------------------
@@ -121,7 +182,9 @@ class FaultInjector:
         if sim.drained:
             return
         delay = self._rng_process.expovariate(1.0 / self.plan.process.mtbf)
-        sim.engine.schedule_after(delay, self._process_fire)
+        sim.engine.schedule_after(
+            delay, self._process_fire, tag=("fault", "process")
+        )
 
     def _outage(self, outage) -> None:
         self.sim.trace(
@@ -156,7 +219,8 @@ class FaultInjector:
             len(block)
         )
         self.sim.engine.schedule_after(
-            straggler.duration, lambda: self._straggler_end(block)
+            straggler.duration, lambda: self._straggler_end(block),
+            tag=("fault", "straggler_end", tuple(block)),
         )
         self._audit("straggler")
 
@@ -207,6 +271,7 @@ class FaultInjector:
         ]
         if biases and orchestrator.predictor is not None:
             orig = orchestrator.predictor
+            self._predictor_orig = orig
 
             def biased(history):
                 value = float(orig(history))

@@ -22,11 +22,18 @@ is exactly what the CI determinism guard compares.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Optional
 
 from repro.simulator.metrics import SimulationMetrics
 
 HOUR = 3600.0
+
+
+def _gauge_value(gauge) -> float:
+    """A gauge's value with the unset (NaN) state mapped to 0 so the
+    snapshot stays JSON-clean and byte-stable."""
+    return 0.0 if math.isnan(gauge.value) else gauge.value
 
 
 def _hist_summary(hist) -> Dict[str, float]:
@@ -113,6 +120,21 @@ def resilience_snapshot(
             ),
         },
         "degraded_ticks": registry.counter("resilience.degraded_ticks").value,
+        "recovery": {
+            "checkpoints": registry.counter("recovery.checkpoints").value,
+            "recoveries": registry.counter("recovery.recoveries").value,
+            "wal_entries_replayed": registry.counter(
+                "recovery.wal_entries_replayed"
+            ).value,
+            "snapshot_bytes": _gauge_value(
+                registry.gauge("recovery.snapshot_bytes")
+            ),
+            # wall-clock, so only its count is seed-stable; the guard
+            # compares crash-free runs where this is {"count": 0}
+            "time_to_recover_s": _hist_summary(
+                registry.histogram("recovery.time_to_recover_s")
+            ),
+        },
         "audits": audits,
         "jct": {
             "mean": jct.mean,

@@ -37,6 +37,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.faults.crash import CrashPoint, seeded_crash_schedule
 from repro.faults.recovery import DegradedLoaning, RetryPolicy
 
 HOUR = 3600.0
@@ -190,6 +191,7 @@ class FaultPlan:
     predictor_outages: Tuple[PredictorOutage, ...] = ()
     predictor_biases: Tuple[PredictorBias, ...] = ()
     launch_failures: Optional[LaunchFailures] = None
+    crashes: Tuple[CrashPoint, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     degraded: DegradedLoaning = field(default_factory=DegradedLoaning)
 
@@ -198,9 +200,17 @@ class FaultPlan:
             value = getattr(self, fname)
             if not isinstance(value, tuple):
                 object.__setattr__(self, fname, tuple(value))
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
 
     def is_empty(self) -> bool:
-        """True when the plan injects nothing at all."""
+        """True when the plan injects nothing *into the simulation*.
+
+        ``crashes`` deliberately do not count: process kills are executed
+        by the recovery harness around the simulator, not by the in-sim
+        :class:`~repro.faults.injector.FaultInjector`, so a crash-only
+        plan must not disable the injector-free fast paths.
+        """
         return (
             self.process is None
             and self.launch_failures is None
@@ -220,6 +230,8 @@ class FaultPlan:
                 out[fname] = [dataclasses.asdict(e) for e in events]
         if self.launch_failures is not None:
             out["launch_failures"] = dataclasses.asdict(self.launch_failures)
+        if self.crashes:
+            out["crashes"] = [c.to_dict() for c in self.crashes]
         out["retry"] = dataclasses.asdict(self.retry)
         out["degraded"] = dataclasses.asdict(self.degraded)
         return out
@@ -246,6 +258,10 @@ class FaultPlan:
                 kwargs[fname] = tuple(etype(**e) for e in data[fname])
         if data.get("launch_failures") is not None:
             kwargs["launch_failures"] = LaunchFailures(**data["launch_failures"])
+        if data.get("crashes"):
+            kwargs["crashes"] = tuple(
+                CrashPoint.from_dict(c) for c in data["crashes"]
+            )
         if data.get("retry") is not None:
             kwargs["retry"] = RetryPolicy(**data["retry"])
         if data.get("degraded") is not None:
@@ -282,7 +298,16 @@ class FaultPlan:
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
-        return dataclasses.replace(self, seed=seed)
+        updates: Dict[str, Any] = {"seed": seed}
+        # a seed-derived kill schedule follows the new seed; an explicit
+        # hand-written schedule is data and stays put
+        if self.crashes and self.crashes == seeded_crash_schedule(
+            self.seed, count=len(self.crashes)
+        ):
+            updates["crashes"] = seeded_crash_schedule(
+                seed, count=len(self.crashes)
+            )
+        return dataclasses.replace(self, **updates)
 
 
 # ----------------------------------------------------------------------
@@ -320,6 +345,15 @@ def _builtin_plans() -> Dict[str, FaultPlan]:
                 Straggler(at=10 * HOUR, duration=2 * HOUR, factor=0.6,
                           servers=1),
             ),
+        ),
+        # the simulator process itself dies (and must recover): a seeded
+        # kill schedule over the recovery-barrier taxonomy, executed by
+        # the chaos harness via repro.recovery, with mild node churn so
+        # recovery happens under real scheduling pressure
+        "process-crash": FaultPlan(
+            name="process-crash",
+            process=NodeFailureProcess(mtbf=12 * HOUR, repair_time=HOUR),
+            crashes=seeded_crash_schedule(seed=0, count=3),
         ),
         # everything at once: the full resilience gauntlet
         "chaos": FaultPlan(

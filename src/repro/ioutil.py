@@ -1,0 +1,68 @@
+"""Crash-safe filesystem helpers.
+
+Every artifact the toolchain writes — traces, reports, bench results,
+snapshots, the WAL — must survive a process dying mid-write: a reader
+must always see either the previous complete file or the new complete
+file, never a truncated hybrid.  :func:`atomic_write` is the one shared
+primitive: write to a temporary sibling, flush + fsync, then
+``os.replace`` onto the destination (atomic on POSIX and Windows).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+
+@contextlib.contextmanager
+def atomic_write(
+    path: Union[str, Path],
+    mode: str = "w",
+    encoding: str = None,
+    newline: str = None,
+    sync: bool = True,
+) -> Iterator[IO]:
+    """Write ``path`` atomically: all-or-nothing, never partial.
+
+    Yields a file object open on a temporary sibling
+    (``<name>.tmp.<pid>`` in the destination directory, so the final
+    rename never crosses filesystems).  On a clean exit the temporary
+    is fsynced (unless ``sync=False``) and renamed over ``path``; on an
+    exception it is removed and the destination is left untouched.
+
+    ``mode`` accepts the text/binary write modes (``"w"``, ``"wb"``).
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write only supports write modes, got {mode!r}")
+    dest = Path(path)
+    tmp = dest.parent / f"{dest.name}.tmp.{os.getpid()}"
+    if "b" in mode:
+        fh = open(tmp, mode)
+    else:
+        fh = open(tmp, mode, encoding=encoding, newline=newline)
+    try:
+        yield fh
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, dest)
+    except BaseException:
+        fh.close()
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str, **kwargs) -> None:
+    """Convenience wrapper: atomically replace ``path`` with ``text``."""
+    with atomic_write(path, **kwargs) as fh:
+        fh.write(text)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes, **kwargs) -> None:
+    """Convenience wrapper: atomically replace ``path`` with ``data``."""
+    with atomic_write(path, mode="wb", **kwargs) as fh:
+        fh.write(data)

@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Union
 
+from repro.ioutil import atomic_write
+
 #: Event-name prefixes, used as Chrome trace categories.
 CAT_JOB = "job"
 CAT_SCHEDULER = "scheduler"
@@ -167,7 +169,7 @@ class Tracer:
             return lines
 
         if isinstance(dest, str):
-            with open(dest, "w") as fh:
+            with atomic_write(dest) as fh:
                 return _write(fh)
         return _write(dest)
 
@@ -184,7 +186,7 @@ class Tracer:
         """
         doc = to_chrome(self.sorted_events(), summary=summary)
         if isinstance(dest, str):
-            with open(dest, "w") as fh:
+            with atomic_write(dest) as fh:
                 json.dump(doc, fh, default=str)
         else:
             json.dump(doc, dest, default=str)

@@ -74,6 +74,12 @@ _REPLAY_SCRIPT = (
     "print(replay_divergence({scheme!r}, {seed}) or 'no divergence')\n"
 )
 
+_RECOVERY_SCRIPT = (
+    "# repro — run from the repo root with PYTHONPATH=src\n"
+    "from repro.oracle.conformance import recovery_divergence\n"
+    "print(recovery_divergence({scheme!r}, {seed}) or 'no divergence')\n"
+)
+
 
 @dataclass
 class Divergence:
@@ -319,20 +325,13 @@ def metamorphic_divergence(seed: int) -> Optional[str]:
 # ----------------------------------------------------------------------
 # scenario replays
 # ----------------------------------------------------------------------
-def replay_scenario(
+def build_replay_sim(
     scheme: str,
     seed: int,
-    incremental: bool,
+    incremental: bool = True,
     probe: Optional[Callable[[str, str, dict], None]] = None,
 ):
-    """Run one mini-scenario to completion and return the Simulation.
-
-    The workload is deliberately overloaded (queue pressure exercises
-    both allocation phases) and, for loaning schemes, small enough that
-    reclaim demand actually arrives.  ``probe`` is installed as the
-    policy's ``conformance_probe`` before the run, so every
-    ``emit_decision`` payload flows through it.
-    """
+    """Wire (but do not run) the conformance mini-scenario."""
     from repro.scenarios import SCHEMES, build_sim, default_setup
 
     setup = default_setup(
@@ -358,8 +357,101 @@ def replay_scenario(
     )
     if probe is not None:
         sim.policy.conformance_probe = probe
+    return sim
+
+
+def replay_scenario(
+    scheme: str,
+    seed: int,
+    incremental: bool,
+    probe: Optional[Callable[[str, str, dict], None]] = None,
+):
+    """Run one mini-scenario to completion and return the Simulation.
+
+    The workload is deliberately overloaded (queue pressure exercises
+    both allocation phases) and, for loaning schemes, small enough that
+    reclaim demand actually arrives.  ``probe`` is installed as the
+    policy's ``conformance_probe`` before the run, so every
+    ``emit_decision`` payload flows through it.
+    """
+    sim = build_replay_sim(scheme, seed, incremental, probe)
     sim.run()
     return sim
+
+
+def recovery_divergence(scheme: str, seed: int) -> Optional[str]:
+    """Kill the mini-scenario mid-run and recover it from disk.
+
+    The crash barrier cycles with the seed through the full taxonomy
+    (between events, mid plan-commit, right after the WAL append).  The
+    recovered-and-resumed run must reproduce the continuous run's
+    Activity log byte-for-byte; a barrier that never occurs after the
+    kill time simply degenerates into checking that a *checkpointed*
+    run is byte-identical to a plain one — also part of the contract.
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults.crash import (
+        BARRIERS,
+        CrashInjector,
+        CrashPoint,
+        SimulatedCrash,
+    )
+    from repro.recovery import RecoveryError, RecoveryManager
+
+    reference = replay_scenario(scheme, seed, incremental=True)
+    horizon = reference.now
+    barrier = BARRIERS[seed % len(BARRIERS)]
+    workdir = tempfile.mkdtemp(prefix="repro-oracle-recovery-")
+    try:
+        sim = build_replay_sim(scheme, seed, incremental=True)
+        manager = RecoveryManager(
+            workdir,
+            checkpoint_every=max(horizon / 7.0, 60.0),
+            crash=CrashInjector([CrashPoint(horizon * 0.5, barrier)]),
+        )
+        manager.attach(sim)
+        crashed = False
+        try:
+            sim.run()
+        except SimulatedCrash:
+            crashed = True
+        if crashed:
+            try:
+                sim = RecoveryManager.recover(workdir)
+            except RecoveryError as exc:
+                return f"recovery after a {barrier} kill failed: {exc}"
+            sim.resume()
+
+        label = (f"recovered ({barrier})" if crashed
+                 else "checkpointed (no kill fired)")
+        if len(sim.activities) != len(reference.activities):
+            return (
+                f"{label} run recorded {len(sim.activities)} activities, "
+                f"continuous run {len(reference.activities)}"
+            )
+        for i, (a, b) in enumerate(zip(sim.activities,
+                                       reference.activities)):
+            if a != b:
+                return (
+                    f"{label} run diverges at activity {i}: "
+                    f"t={a.time!r} {a.kind.value} job={a.job_id!r} "
+                    f"{a.detail!r} vs continuous t={b.time!r} "
+                    f"{b.kind.value} job={b.job_id!r} {b.detail!r}"
+                )
+        try:
+            sim.rm.verify_books()
+        except Exception as exc:
+            return f"{label} run ended with unbalanced books: {exc}"
+        if sim.view is not None:
+            try:
+                sim.view.assert_consistent()
+            except Exception as exc:
+                return f"{label} view inconsistent after the run: {exc}"
+        return None
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 def replay_divergence(scheme: str, seed: int) -> Optional[str]:
@@ -561,4 +653,20 @@ def run_check(
                             repro=_REPLAY_SCRIPT.format(scheme=scheme, seed=s),
                         )
                     )
+        for scheme in policies:
+            s = seed
+            if len(report.divergences) >= max_divergences:
+                return report
+            if progress:
+                progress(f"crash-recovering {scheme} seed {s}")
+            report.checks["recovery"] = report.checks.get("recovery", 0) + 1
+            detail = recovery_divergence(scheme, s)
+            if detail:
+                report.divergences.append(
+                    Divergence(
+                        check="recovery", detail=detail, scheme=scheme,
+                        seed=s,
+                        repro=_RECOVERY_SCRIPT.format(scheme=scheme, seed=s),
+                    )
+                )
     return report

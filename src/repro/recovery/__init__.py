@@ -1,0 +1,38 @@
+"""Durable state: snapshots, a write-ahead plan journal, and recovery.
+
+The simulator's entire run state is in-memory; this package makes it
+survive process death.  Three pieces (docs/ROBUSTNESS.md):
+
+* :class:`~repro.recovery.codec.SnapshotCodec` — versioned, checksummed
+  serialization of the full simulation state (jobs, clusters, loans,
+  view, executor counters, fault-injector RNG streams, the event queue
+  as tagged descriptors, metrics, activities);
+* :class:`~repro.recovery.wal.PlanWAL` — an append-only, fsynced JSONL
+  journal of every committed :class:`~repro.core.actions.EpochPlan`,
+  written *before* the plan's effects land;
+* :class:`~repro.recovery.manager.RecoveryManager` — checkpoints a run
+  every N simulated seconds between engine events, and restores the
+  latest valid snapshot + WAL so a killed run resumes byte-identical to
+  the uninterrupted one.
+
+A simulation with ``sim.recovery is None`` (the default) never imports
+this package and takes the exact pre-recovery code path.
+"""
+
+from repro.recovery.codec import SCHEMA_VERSION, SnapshotCodec, SnapshotError
+from repro.recovery.manager import RecoveryError, RecoveryManager
+from repro.recovery.state import capture_payload, event_resolver, restore_payload
+from repro.recovery.wal import PlanWAL, WALError
+
+__all__ = [
+    "PlanWAL",
+    "RecoveryError",
+    "RecoveryManager",
+    "SCHEMA_VERSION",
+    "SnapshotCodec",
+    "SnapshotError",
+    "WALError",
+    "capture_payload",
+    "event_resolver",
+    "restore_payload",
+]

@@ -1,0 +1,100 @@
+"""Snapshot serialization: versioned, checksummed, atomic.
+
+A snapshot file is::
+
+    MAGIC (10 bytes) | header length (4 bytes, big-endian) |
+    header (JSON: schema version, sha256, payload size) |
+    payload (pickle protocol 4)
+
+The checksum covers the payload, so torn or bit-rotted snapshots are
+detected at load time and the recovery manager falls back to the
+previous one.  The schema version gates pickle compatibility: a codec
+refuses payloads written by a different schema rather than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.ioutil import atomic_write_bytes
+
+MAGIC = b"REPROSNAP\x00"
+SCHEMA_VERSION = 1
+
+#: pinned pickle protocol: snapshots written on 3.9 load on 3.12
+_PICKLE_PROTOCOL = 4
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, torn, corrupt, or from another schema."""
+
+
+class SnapshotCodec:
+    """Encodes/decodes snapshot payloads with integrity checking."""
+
+    version = SCHEMA_VERSION
+
+    @staticmethod
+    def encode(payload: Dict[str, Any]) -> bytes:
+        blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+        header = json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "payload_bytes": len(blob),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return MAGIC + len(header).to_bytes(4, "big") + header + blob
+
+    @staticmethod
+    def decode(data: bytes) -> Dict[str, Any]:
+        if not data.startswith(MAGIC):
+            raise SnapshotError("bad magic: not a repro snapshot")
+        offset = len(MAGIC)
+        if len(data) < offset + 4:
+            raise SnapshotError("truncated snapshot header length")
+        header_len = int.from_bytes(data[offset:offset + 4], "big")
+        offset += 4
+        raw_header = data[offset:offset + header_len]
+        if len(raw_header) < header_len:
+            raise SnapshotError("truncated snapshot header")
+        try:
+            header = json.loads(raw_header.decode("utf-8"))
+        except ValueError as exc:
+            raise SnapshotError(f"unreadable snapshot header: {exc}") from exc
+        if header.get("schema") != SCHEMA_VERSION:
+            raise SnapshotError(
+                f"snapshot schema {header.get('schema')!r} does not match "
+                f"this codec (schema {SCHEMA_VERSION})"
+            )
+        blob = data[offset + header_len:]
+        if len(blob) != header.get("payload_bytes"):
+            raise SnapshotError(
+                f"snapshot payload is {len(blob)} bytes, header promised "
+                f"{header.get('payload_bytes')}"
+            )
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header.get("sha256"):
+            raise SnapshotError("snapshot checksum mismatch: payload corrupt")
+        return pickle.loads(blob)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def dump(cls, payload: Dict[str, Any], path: Union[str, Path]) -> int:
+        """Atomically write ``payload`` to ``path``; returns byte size."""
+        data = cls.encode(payload)
+        atomic_write_bytes(path, data)
+        return len(data)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> Dict[str, Any]:
+        try:
+            data = Path(path).read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        return cls.decode(data)

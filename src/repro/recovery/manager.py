@@ -1,0 +1,231 @@
+"""Checkpointing run loop and crash recovery.
+
+A :class:`RecoveryManager` owns a checkpoint directory::
+
+    recovery.json          manifest (schema, cadence)
+    wal.jsonl              write-ahead plan journal
+    snapshot-000001.ckpt   full-state snapshots, monotonically numbered
+    snapshot-000002.ckpt
+    ...
+
+Attached to a simulation (``sim.recovery = manager``), it replaces the
+engine's one-shot ``run(until)`` with a stepped loop that snapshots the
+full run state every ``checkpoint_every`` simulated seconds — always
+*between* engine events, so checkpointing never perturbs event order and
+a checkpointed run stays byte-identical to a plain one.
+
+Recovery (:meth:`RecoveryManager.recover`) loads the newest snapshot
+that passes its checksum (falling back past torn ones), rewires it, and
+resumes.  Because the simulator is deterministic, the window between the
+snapshot and the crash is simply re-executed; the WAL verifies that
+every re-derived plan in that window matches what the dead process had
+already journaled (see :mod:`repro.recovery.wal`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.faults.crash import BARRIER_BETWEEN_EVENTS, CrashInjector
+from repro.ioutil import atomic_write_text
+from repro.recovery.codec import SCHEMA_VERSION, SnapshotCodec, SnapshotError
+from repro.recovery.state import capture_payload, restore_payload
+from repro.recovery.wal import PlanWAL
+
+MANIFEST_NAME = "recovery.json"
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_GLOB = "snapshot-*.ckpt"
+
+
+class RecoveryError(RuntimeError):
+    """Recovery is impossible: no usable snapshot, or a bad directory."""
+
+
+def _snapshot_path(directory: Path, seq: int) -> Path:
+    return directory / f"snapshot-{seq:06d}.ckpt"
+
+
+def _snapshot_seq(path: Path) -> int:
+    return int(path.stem.split("-", 1)[1])
+
+
+class RecoveryManager:
+    """Checkpoints a running simulation and restores killed ones."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        checkpoint_every: float = 600.0,
+        crash: Optional[CrashInjector] = None,
+    ):
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        self.directory = Path(directory)
+        self.checkpoint_every = float(checkpoint_every)
+        self.crash = crash
+        self.wal: Optional[PlanWAL] = None
+        self.checkpoints = 0
+        self.last_snapshot_bytes = 0
+        self._sim = None
+        self._snapshot_seq = 0
+        self._next_checkpoint: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> None:
+        """Wire this manager into ``sim`` and make the directory live."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        existing = sorted(self.directory.glob(SNAPSHOT_GLOB))
+        if existing:
+            self._snapshot_seq = max(
+                self._snapshot_seq, _snapshot_seq(existing[-1])
+            )
+        self._sim = sim
+        self.wal = PlanWAL(self.directory / WAL_NAME, registry=sim.obs.registry)
+        sim.recovery = self
+        sim.executor.wal = self.wal
+        self._install_crash_probe()
+        atomic_write_text(
+            self.directory / MANIFEST_NAME,
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "checkpoint_every": self.checkpoint_every,
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def _install_crash_probe(self) -> None:
+        sim = self._sim
+        if sim is None:
+            return
+        if self.crash is None:
+            sim.executor.crash_probe = None
+        else:
+            crash = self.crash
+            engine = sim.engine
+            sim.executor.crash_probe = (
+                lambda barrier: crash.maybe_fire(barrier, engine.now)
+            )
+
+    def arm_crash(self, crash: Optional[CrashInjector]) -> None:
+        """(Re-)arm a crash schedule; used by in-process chaos harnesses
+        after each recovery to install the surviving kill points."""
+        self.crash = crash
+        self._install_crash_probe()
+
+    # ------------------------------------------------------------------
+    def run_loop(self, sim, deadline: Optional[float]) -> None:
+        """The checkpointed replacement for ``engine.run(until)``."""
+        engine = sim.engine
+        engine.begin()
+        if self._next_checkpoint is None:
+            self._next_checkpoint = engine.now + self.checkpoint_every
+        while True:
+            if self.crash is not None:
+                self.crash.maybe_fire(BARRIER_BETWEEN_EVENTS, engine.now)
+            if not engine.step(deadline):
+                break
+            if engine.now >= self._next_checkpoint:
+                self.checkpoint(sim)
+                self._next_checkpoint = engine.now + self.checkpoint_every
+        engine.finish(deadline)
+
+    def checkpoint(self, sim) -> Path:
+        """Snapshot ``sim`` to the next numbered file; returns its path."""
+        payload = capture_payload(sim)
+        self._snapshot_seq += 1
+        path = _snapshot_path(self.directory, self._snapshot_seq)
+        size = SnapshotCodec.dump(payload, path)
+        self.checkpoints += 1
+        self.last_snapshot_bytes = size
+        registry = sim.obs.registry
+        registry.counter("recovery.checkpoints").inc()
+        registry.gauge("recovery.snapshot_bytes").set(size)
+        # emitted after capture: the snapshot does not contain the trace
+        # of its own creation
+        sim.trace(
+            "recovery.checkpoint", seq=self._snapshot_seq, snapshot_bytes=size
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, directory: Union[str, Path]):
+        """Restore the newest usable snapshot in ``directory``.
+
+        Returns the revived simulation, with a fresh manager already
+        attached as ``sim.recovery`` — call ``sim.resume()`` to continue
+        the run.  Snapshots that fail their checksum (a crash can tear
+        at any byte) are skipped in favour of the previous one.
+        """
+        t0 = time.perf_counter()
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise RecoveryError(f"{directory} is not a recovery directory")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise RecoveryError(f"unreadable manifest: {exc}") from exc
+        if manifest.get("schema") != SCHEMA_VERSION:
+            raise RecoveryError(
+                f"recovery directory schema {manifest.get('schema')!r} "
+                f"does not match this build (schema {SCHEMA_VERSION})"
+            )
+
+        snapshots = sorted(directory.glob(SNAPSHOT_GLOB))
+        if not snapshots:
+            raise RecoveryError(
+                f"{directory} has no snapshots; the run died before its "
+                "first checkpoint — rerun from the start"
+            )
+        payload = None
+        used = None
+        skipped = 0
+        for path in reversed(snapshots):
+            try:
+                payload = SnapshotCodec.load(path)
+                used = path
+                break
+            except SnapshotError:
+                skipped += 1
+        if payload is None:
+            raise RecoveryError(
+                f"all {len(snapshots)} snapshots in {directory} are corrupt"
+            )
+
+        sim = restore_payload(payload)
+        manager = cls(
+            directory,
+            checkpoint_every=float(
+                manifest.get("checkpoint_every", 600.0)
+            ),
+        )
+        manager._snapshot_seq = _snapshot_seq(used)
+        manager.attach(sim)
+
+        registry = sim.obs.registry
+        registry.counter("recovery.recoveries").inc()
+        registry.histogram("recovery.time_to_recover_s").observe(
+            time.perf_counter() - t0
+        )
+        wal_ahead = sum(
+            1
+            for pid in manager.wal.plan_ids
+            if pid > sim.executor.plans_applied
+        )
+        sim.trace(
+            "recovery.resumed",
+            snapshot=used.name,
+            snapshots_skipped=skipped,
+            sim_time=sim.engine.now,
+            wal_plans_ahead=wal_ahead,
+        )
+        return sim

@@ -1,0 +1,138 @@
+"""Full-run state capture and restore.
+
+The simulation object graph is pickled *whole* — jobs, clusters, loans,
+view, executor, metrics, activities, fault-injector RNG streams — so
+every cross-reference survives by construction.  Three things cannot be
+pickled and are handled explicitly:
+
+* the engine heap holds closures → serialized as tagged ``(when, seq,
+  tag)`` descriptors (see :mod:`repro.simulator.engine`) and resolved
+  back to callbacks against the restored simulation by
+  :func:`event_resolver`;
+* closure-valued hooks (fault launch gate, predictor fault wrappers,
+  the profiler's clock) → stripped before pickling and re-installed by
+  :func:`restore_payload` / :meth:`FaultInjector.rewire`, reading their
+  restored RNG streams so draws continue exactly;
+* the module-level container-id counter → captured by value.
+
+Capture happens only *between* engine events, when no plan transaction
+is open — asserted, not assumed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict
+
+from repro.recovery.codec import SnapshotError
+from repro.rm.containers import container_id_state, set_container_id_state
+
+#: payload schema keys, documented in docs/ROBUSTNESS.md
+PAYLOAD_KEYS = ("sim", "container_seq")
+
+
+def event_resolver(sim) -> Callable[[tuple], Callable[[], None]]:
+    """Map a restored event tag back to a live callback on ``sim``."""
+
+    def resolve(tag: tuple) -> Callable[[], None]:
+        head = tag[0]
+        if head == "arrival":
+            return sim._arrival(sim.jobs[tag[1]])
+        if head == "completion":
+            return sim._completion(sim.jobs[tag[1]], tag[2])
+        if head == "tick":
+            return sim._schedule_tick
+        if head == "heartbeat":
+            return sim._heartbeat
+        if head == "sampler":
+            return sim._sampler
+        if head == "orch":
+            return sim._orchestrator_tick
+        if head == "node_recovery":
+            return lambda sid=tag[1]: sim._node_recovery(sid)
+        if head == "fault":
+            if sim.fault_injector is None:
+                raise SnapshotError(
+                    f"fault event {tag!r} restored without a fault injector"
+                )
+            return sim.fault_injector.resolve_tag(tag)
+        raise SnapshotError(f"unknown event tag {tag!r}")
+
+    return resolve
+
+
+def capture_payload(sim) -> Dict[str, Any]:
+    """Snapshot a quiescent simulation into a codec-ready payload.
+
+    The live simulation is left exactly as it was: stripped hooks are
+    re-attached (closure hooks are pure functions of plan + RNG state,
+    so re-created ones behave identically) before returning.
+    """
+    if sim.rm.journal is not None:
+        raise SnapshotError(
+            "cannot snapshot with an open plan transaction; snapshots "
+            "happen between engine events only"
+        )
+    if sim.executor.in_flight:
+        raise SnapshotError("cannot snapshot mid plan-commit")
+    injector = sim.fault_injector
+    if injector is None and sim.rm.launch_gate is not None:
+        raise SnapshotError(
+            "a custom launch_gate closure is installed; only fault-plan "
+            "launch gates can be serialized (they are re-derived from the "
+            "plan on restore)"
+        )
+
+    saved = []
+
+    def detach(obj, attr, value=None):
+        saved.append((obj, attr, getattr(obj, attr)))
+        setattr(obj, attr, value)
+
+    # durable-state machinery never snapshots itself
+    detach(sim, "recovery")
+    detach(sim.executor, "wal")
+    detach(sim.executor, "crash_probe")
+    # the profiler clock is a closure over the engine; re-bound on restore
+    detach(sim.obs.phases, "clock")
+    # conformance probes are harness-side observers, not run state
+    if getattr(sim.policy, "conformance_probe", None) is not None:
+        detach(sim.policy, "conformance_probe")
+    if injector is not None:
+        injector.strip_for_snapshot()
+    try:
+        # round-trip through pickle so the payload is detached from the
+        # live objects (the caller may keep mutating the simulation)
+        blob = pickle.dumps(
+            {"sim": sim, "container_seq": container_id_state()},
+            protocol=4,
+        )
+    finally:
+        for obj, attr, value in reversed(saved):
+            setattr(obj, attr, value)
+        if injector is not None:
+            injector.rewire()
+    return pickle.loads(blob)
+
+
+def restore_payload(payload: Dict[str, Any]):
+    """Bring a decoded payload back to life; returns the simulation.
+
+    Rewires everything :func:`capture_payload` stripped: the engine heap
+    (tags → callbacks), the profiler clock, and the fault injector's
+    closure hooks.  The caller (normally the
+    :class:`~repro.recovery.manager.RecoveryManager`) re-attaches the
+    durable-state machinery before resuming.
+    """
+    for key in PAYLOAD_KEYS:
+        if key not in payload:
+            raise SnapshotError(f"snapshot payload missing {key!r}")
+    sim = payload["sim"]
+    set_container_id_state(payload["container_seq"])
+    sim.engine.rebind(event_resolver(sim))
+    phases = sim.obs.phases
+    if phases.tracer is not None:
+        phases.clock = lambda: sim.engine.now
+    if sim.fault_injector is not None:
+        sim.fault_injector.rewire()
+    return sim

@@ -3,13 +3,28 @@
 A minimal, allocation-free event loop: callbacks are scheduled at absolute
 simulated times and executed in (time, insertion) order.  Everything else —
 jobs, clusters, schedulers — lives above this layer.
+
+Every event may carry a *tag*: a small, JSON/pickle-friendly tuple that
+names the callback it wraps (``("completion", job_id, epoch)``,
+``("heartbeat",)``, ...).  Tags are what make the engine *durable*:
+closures cannot be serialized, but a tagged heap can be snapshotted as
+``(when, seq, tag)`` triples and rebuilt by resolving each tag back to a
+fresh callback against the restored simulation (see
+:mod:`repro.recovery.state`).  Untagged events still work for ad-hoc
+harnesses — they simply make the engine unsnapshotable.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable, List, Optional, Tuple
+
+#: A serializable event descriptor; ``None`` marks an ad-hoc closure.
+EventTag = Optional[tuple]
+
+
+class UnsnapshotableEvent(RuntimeError):
+    """The heap holds an untagged event, so it cannot be serialized."""
 
 
 class Engine:
@@ -17,23 +32,35 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0):
         self.now = start_time
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
-        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, Callable[[], None], EventTag]] = []
+        self._next_seq = 0
         self._stopped = False
 
-    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+    def schedule(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        tag: EventTag = None,
+    ) -> None:
         """Run ``callback`` at absolute time ``when`` (>= now)."""
         if when < self.now:
             raise ValueError(
                 f"cannot schedule in the past: {when} < now {self.now}"
             )
-        heapq.heappush(self._heap, (when, next(self._counter), callback))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, callback, tag))
 
-    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        tag: EventTag = None,
+    ) -> None:
         """Run ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self.schedule(self.now + delay, callback)
+        self.schedule(self.now + delay, callback, tag=tag)
 
     @property
     def pending_events(self) -> int:
@@ -59,7 +86,7 @@ class Engine:
         """
         self._stopped = False
         while self._heap and not self._stopped:
-            when, _, callback = self._heap[0]
+            when, _, callback, _tag = self._heap[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
@@ -69,3 +96,93 @@ class Engine:
         if until is not None and self.now < until:
             self.now = until
         return self.now
+
+    # ------------------------------------------------------------------
+    # stepped execution (the checkpointed run loop)
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Reset the stop flag, as :meth:`run` does on entry."""
+        self._stopped = False
+
+    def step(self, until: Optional[float] = None) -> bool:
+        """Process exactly one event; False when there is nothing to do.
+
+        ``begin()``/``step()``/``finish()`` decompose :meth:`run` so a
+        caller can interleave work *between* events — the recovery
+        layer's checkpoint barrier — without perturbing event order:
+        the sequence of (time, callback) executions is identical to one
+        uninterrupted ``run(until)`` call.
+        """
+        if not self._heap or self._stopped:
+            return False
+        when, _, callback, _tag = self._heap[0]
+        if until is not None and when > until:
+            return False
+        heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        return True
+
+    def finish(self, until: Optional[float] = None) -> float:
+        """Apply :meth:`run`'s final-clock semantics after a step loop."""
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    # ------------------------------------------------------------------
+    # serialization (tags only; callbacks are resolved on restore)
+    # ------------------------------------------------------------------
+    def snapshot_events(self) -> List[Tuple[float, int, tuple]]:
+        """The heap as ``(when, seq, tag)`` triples, heap-order sorted.
+
+        Raises :class:`UnsnapshotableEvent` if any event lacks a tag.
+        """
+        events = []
+        for when, seq, _cb, tag in self._heap:
+            if tag is None:
+                raise UnsnapshotableEvent(
+                    f"event at t={when} (seq {seq}) has no tag; only tagged "
+                    f"events can be serialized"
+                )
+            events.append((when, seq, tag))
+        events.sort()
+        return events
+
+    def __getstate__(self) -> dict:
+        # an engine may be re-pickled before rebind() (snapshot payloads
+        # round-trip through pickle to detach from the live run); its
+        # events then live in _unresolved, not the heap
+        unresolved = getattr(self, "_unresolved", None)
+        return {
+            "now": self.now,
+            "next_seq": self._next_seq,
+            "stopped": self._stopped,
+            "events": (
+                list(unresolved)
+                if unresolved is not None
+                else self.snapshot_events()
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.now = state["now"]
+        self._next_seq = state["next_seq"]
+        self._stopped = state["stopped"]
+        self._heap = []
+        #: restored tag triples awaiting :meth:`rebind`
+        self._unresolved = state["events"]
+
+    def rebind(self, resolver: Callable[[tuple], Callable[[], None]]) -> int:
+        """Rebuild the heap from restored tags; returns the event count.
+
+        ``resolver`` maps each tag back to a callback against the
+        restored simulation.  Original (when, seq) pairs are preserved,
+        so execution order is bit-identical to the snapshotted run.
+        """
+        unresolved = getattr(self, "_unresolved", None)
+        if unresolved is None:
+            return 0
+        for when, seq, tag in unresolved:
+            heapq.heappush(self._heap, (when, seq, resolver(tag), tag))
+        del self._unresolved
+        return len(self._heap)

@@ -234,6 +234,12 @@ class Simulation:
         self._last_epoch_version: Optional[int] = None
         #: heartbeat firings (drops when wake-up skipping is active)
         self._heartbeats = 0
+        #: attached :class:`~repro.recovery.manager.RecoveryManager`;
+        #: None (the default) keeps the run loop on the exact pre-recovery
+        #: code path — no checkpoints, no WAL, no recovery allocations
+        self.recovery = None
+        #: the run deadline, kept so a restored run can resume to it
+        self._deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     # setup helpers
@@ -345,11 +351,14 @@ class Simulation:
         """Replay the trace; ``until`` optionally cuts the run short at a
         simulated timestamp (the ``repro whatif`` probe point)."""
         for job in self.jobs.values():
-            self.engine.schedule(job.spec.submit_time, self._arrival(job))
-        self.engine.schedule(0.0, self._sampler)
-        self.engine.schedule(0.0, self._heartbeat)
+            self.engine.schedule(
+                job.spec.submit_time, self._arrival(job),
+                tag=("arrival", job.job_id),
+            )
+        self.engine.schedule(0.0, self._sampler, tag=("sampler",))
+        self.engine.schedule(0.0, self._heartbeat, tag=("heartbeat",))
         if self.orchestrator is not None:
-            self.engine.schedule(0.0, self._orchestrator_tick)
+            self.engine.schedule(0.0, self._orchestrator_tick, tag=("orch",))
         plan = self._resolve_fault_plan()
         if self.tracer.enabled:
             self.tracer.emit(
@@ -372,7 +381,35 @@ class Simulation:
         deadline = self._last_arrival + self.config.drain_limit
         if until is not None:
             deadline = min(deadline, until)
-        self.engine.run(until=deadline)
+        self._deadline = deadline
+        self._run_loop(deadline)
+        self._finalize_hourly_ratio()
+        return self.metrics
+
+    def _run_loop(self, deadline: float) -> None:
+        """Drive the engine to ``deadline``.
+
+        Without an attached recovery manager this is exactly the
+        pre-recovery ``engine.run`` call; with one, the manager steps
+        the engine so it can checkpoint (and honor crash barriers)
+        *between* events — event order is identical either way.
+        """
+        if self.recovery is None:
+            self.engine.run(until=deadline)
+        else:
+            self.recovery.run_loop(self, deadline)
+
+    def resume(self) -> SimulationMetrics:
+        """Continue a restored run to its original deadline.
+
+        The counterpart of :meth:`run` for simulations loaded from a
+        snapshot: all setup (initial events, fault installation) already
+        happened in the original process and lives in the restored
+        state, so only the loop and the final bookkeeping remain.
+        """
+        if self._deadline is None:
+            raise RuntimeError("resume() requires a run() to have started")
+        self._run_loop(self._deadline)
         self._finalize_hourly_ratio()
         return self.metrics
 
@@ -419,7 +456,7 @@ class Simulation:
                 if nxt is not None:
                     while when < nxt:
                         when = when + delay
-            self.engine.schedule(when, self._heartbeat)
+            self.engine.schedule(when, self._heartbeat, tag=("heartbeat",))
 
     # ------------------------------------------------------------------
     # event handlers
@@ -454,7 +491,7 @@ class Simulation:
             return
         self._tick_pending = True
         when = max(self.engine.now, self._last_tick + self.config.scheduler_interval)
-        self.engine.schedule(when, self._schedule_tick)
+        self.engine.schedule(when, self._schedule_tick, tag=("tick",))
 
     def _schedule_tick(self) -> None:
         self._tick_pending = False
@@ -598,7 +635,9 @@ class Simulation:
                 pending=len(self.pending),
             )
 
-        self.engine.schedule_after(self.config.sample_interval, self._sampler)
+        self.engine.schedule_after(
+            self.config.sample_interval, self._sampler, tag=("sampler",)
+        )
 
     def _orchestrator_tick(self) -> None:
         assert self.orchestrator is not None
@@ -624,7 +663,8 @@ class Simulation:
         self.executor.apply(plan)
         if self.pending or self.running or self.engine.now < self._last_arrival:
             self.engine.schedule_after(
-                self.config.orchestrator_interval, self._orchestrator_tick
+                self.config.orchestrator_interval, self._orchestrator_tick,
+                tag=("orch",),
             )
 
     # ------------------------------------------------------------------
@@ -774,7 +814,10 @@ class Simulation:
         self._completion_epoch[job.job_id] = epoch
         if math.isinf(eta):
             return
-        self.engine.schedule(self.now + eta, self._completion(job, epoch))
+        self.engine.schedule(
+            self.now + eta, self._completion(job, epoch),
+            tag=("completion", job.job_id, epoch),
+        )
 
     def _completion(self, job: Job, epoch: int):
         def handler() -> None:
@@ -932,6 +975,7 @@ class Simulation:
             self.engine.schedule_after(
                 repair_time,
                 lambda sid=server_id: self._node_recovery(sid),
+                tag=("node_recovery", server_id),
             )
         self.note_trigger(
             TRIGGER_NODE_FAILURE, server_id=server_id, cause=cause

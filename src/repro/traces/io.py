@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import List, Union
 
 from repro.cluster.job import JobSpec
+from repro.ioutil import atomic_write, atomic_write_text
 from repro.traces.workload import DAY, TraceConfig, Workload
 
 _FIELDS = [
@@ -64,9 +65,9 @@ def save_workload(workload: Workload, path: Union[str, Path]) -> None:
             },
             "jobs": records,
         }
-        path.write_text(json.dumps(payload))
+        atomic_write_text(path, json.dumps(payload))
     elif path.suffix == ".csv":
-        with path.open("w", newline="") as fh:
+        with atomic_write(path, newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=_FIELDS)
             writer.writeheader()
             writer.writerows(records)
