@@ -1,23 +1,34 @@
-"""Scheduling-epoch latency at cluster scale: incremental view vs scan.
+"""Scheduling-epoch latency at cluster scale, per view backend.
 
-Runs the same seeded workload through the simulator twice per cell —
-once with the legacy full-scan path (``incremental_view=False``) and
-once with the delta-maintained :class:`~repro.core.view.ClusterView` —
-and reports the mean wall-clock cost of one scheduling epoch (the
-``scheduler.tick`` profiler phase) for each mode.  The two runs must
-produce byte-identical activity logs: the view is an optimisation, not
-a behaviour change, and this bench fails hard if the logs ever differ.
+Runs the same seeded workload through the simulator once per view
+backend — ``legacy`` (full scan each epoch), ``incremental`` (the
+delta-maintained :class:`~repro.core.view.ClusterView`) and ``array``
+(the structure-of-arrays mirror in :mod:`repro.core.arrays`) — and
+reports the mean wall-clock cost of one scheduling epoch (the
+``scheduler.tick`` profiler phase) for each.  All backends must produce
+byte-identical activity logs: the fast paths are optimisations, not
+behaviour changes, and this bench fails hard if the logs ever differ.
 
 Not a pytest bench: run it directly.
 
     python benchmarks/bench_scale.py                 # full sweep, minutes
     python benchmarks/bench_scale.py --quick         # CI smoke, seconds
+    python benchmarks/bench_scale.py --xl \\
+        --out benchmarks/results/BENCH_scale_array.json   # 16k/200k tier
     python benchmarks/bench_scale.py --quick \\
         --baseline benchmarks/results/BENCH_scale_quick_baseline.json
 
-Results land in ``BENCH_scale.json`` (override with ``--out``).  With
-``--baseline`` the run additionally fails when the view-mode mean epoch
-latency regresses past 2x the committed baseline for any cell.
+The ``--xl`` tier (16,384 servers / 200,000 jobs) skips the legacy
+backend — a full object scan per epoch is intractable there, which is
+the point — and additionally enforces the array acceptance bar: >= 5x
+mean-epoch speedup over the incremental backend and a sub-150 ms mean
+epoch.  (An XL epoch is not idle bookkeeping: it admits and places
+~200 jobs, each an inherently sequential plan commit, so the absolute
+bar guards against scan regressions rather than claiming interactive
+latency — measured means are ~95-104 ms vs ~1.9-2.7 s incremental.)
+Results land in ``BENCH_scale.json`` (override with ``--out``).
+With ``--baseline`` the run fails when any backend's mean epoch latency
+regresses past 2x the committed baseline for any cell.
 """
 
 from __future__ import annotations
@@ -57,15 +68,28 @@ from repro.traces.workload import (  # noqa: E402
 
 SCHEMES = {"fifo": FIFOScheduler, "sjf": SJFScheduler}
 
+BACKENDS = ("legacy", "incremental", "array")
+
 #: (training servers, jobs) per sweep point; the largest full-sweep
-#: point is the acceptance scale (>= 2,000 servers / >= 20,000 jobs).
+#: point is the original acceptance scale (>= 2,000 / >= 20,000).
 FULL_SCALES = [(256, 2500), (1024, 10000), (2048, 20000)]
 QUICK_SCALES = [(48, 500), (128, 1200)]
+#: the array-backend acceptance scale; legacy is skipped here
+XL_SCALES = [(16384, 200000)]
 
 DAYS = 0.25
 SEED = 11
 TARGET_LOAD = 0.8
 REGRESSION_FACTOR = 2.0
+#: --xl acceptance: array mean epoch vs the incremental backend, plus
+#: an absolute regression guard.  At this scale one epoch admits and
+#: places ~200 jobs (200k jobs / 944 epochs), each a sequential plan
+#: commit, so the absolute bar is ~1.5x the measured ~104 ms mean —
+#: loose enough for machine noise, tight enough that any return of a
+#: per-epoch O(servers) or O(pending) Python scan (the incremental
+#: backend sits at 1.9-2.7 s here) trips it immediately.
+XL_MIN_ARRAY_SPEEDUP = 5.0
+XL_MAX_ARRAY_MEAN_MS = 150.0
 
 
 def _digest(activities) -> str:
@@ -77,7 +101,7 @@ def _digest(activities) -> str:
     return h.hexdigest()
 
 
-def _run_once(specs, servers: int, scheme: str, incremental: bool):
+def _run_once(specs, servers: int, scheme: str, backend: str):
     pair = ClusterPair(
         make_training_cluster(servers), make_inference_cluster(4)
     )
@@ -87,7 +111,7 @@ def _run_once(specs, servers: int, scheme: str, incremental: bool):
         pair,
         SCHEMES[scheme](),
         config=SimulationConfig(
-            record_activities=True, incremental_view=incremental
+            record_activities=True, view_backend=backend
         ),
         obs=obs,
     )
@@ -105,7 +129,7 @@ def _run_once(specs, servers: int, scheme: str, incremental: bool):
     }
 
 
-def run_cell(servers: int, jobs: int, scheme: str) -> dict:
+def run_cell(servers: int, jobs: int, scheme: str, backends) -> dict:
     specs = generate_workload(
         TraceConfig(
             num_jobs=jobs,
@@ -115,85 +139,136 @@ def run_cell(servers: int, jobs: int, scheme: str) -> dict:
             target_load=TARGET_LOAD,
         )
     ).specs
-    legacy_sim, legacy = _run_once(specs, servers, scheme, incremental=False)
-    view_sim, view = _run_once(specs, servers, scheme, incremental=True)
-    identical = legacy_sim.activities == view_sim.activities
-    speedup = (
-        legacy["mean_ms"] / view["mean_ms"] if view["mean_ms"] else None
-    )
+    stats, digests, events = {}, {}, {}
+    for backend in backends:
+        sim, stats[backend] = _run_once(specs, servers, scheme, backend)
+        digests[backend] = _digest(sim.activities)
+        events[backend] = len(sim.activities)
+        del sim
+    identical = len(set(digests.values())) == 1
+    ref = backends[0]
+
+    def _speedup(slow: str, fast: str):
+        if slow not in stats or fast not in stats:
+            return None
+        fast_ms = stats[fast]["mean_ms"]
+        return round(stats[slow]["mean_ms"] / fast_ms, 3) if fast_ms else None
+
     return {
         "servers": servers,
         "jobs": jobs,
         "scheme": scheme,
-        "legacy": legacy,
-        "view": view,
-        "speedup": round(speedup, 3) if speedup else None,
-        "events": len(view_sim.activities),
+        "backends": stats,
+        "speedup_vs_legacy": {
+            b: _speedup("legacy", b)
+            for b in backends
+            if b != "legacy" and "legacy" in stats
+        },
+        "array_over_incremental": _speedup("incremental", "array"),
+        "events": events[ref],
         "logs_identical": identical,
-        "sha256": _digest(view_sim.activities),
+        "sha256": digests[ref],
     }
 
 
 def check_baseline(cells, baseline_path: str) -> list:
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    ref = {
-        (c["servers"], c["jobs"], c["scheme"]): c["view"]["mean_ms"]
-        for c in baseline["cells"]
-    }
+    ref = {}
+    for c in baseline["cells"]:
+        for backend, stats in c["backends"].items():
+            key = (c["servers"], c["jobs"], c["scheme"], backend)
+            ref[key] = stats["mean_ms"]
     failures = []
     for cell in cells:
-        key = (cell["servers"], cell["jobs"], cell["scheme"])
-        if key not in ref:
-            continue
-        limit = REGRESSION_FACTOR * ref[key]
-        if cell["view"]["mean_ms"] > limit:
-            failures.append(
-                f"{key}: view mean {cell['view']['mean_ms']:.3f} ms "
-                f"> {REGRESSION_FACTOR}x baseline {ref[key]:.3f} ms"
-            )
+        for backend, stats in cell["backends"].items():
+            key = (cell["servers"], cell["jobs"], cell["scheme"], backend)
+            if key not in ref:
+                continue
+            limit = REGRESSION_FACTOR * ref[key]
+            if stats["mean_ms"] > limit:
+                failures.append(
+                    f"{key}: mean {stats['mean_ms']:.3f} ms "
+                    f"> {REGRESSION_FACTOR}x baseline {ref[key]:.3f} ms"
+                )
     return failures
+
+
+def _print_cell(cell: dict) -> None:
+    cols = "  ".join(
+        f"{b} {s['mean_ms']:8.3f} ms"
+        for b, s in cell["backends"].items()
+    )
+    extras = []
+    if cell["array_over_incremental"]:
+        extras.append(f"array/incr {cell['array_over_incremental']:.2f}x")
+    for b, s in sorted(cell["speedup_vs_legacy"].items()):
+        if s:
+            extras.append(f"{b}/legacy {s:.2f}x")
+    print(
+        f"{cell['scheme']:4s} {cell['servers']:5d} servers "
+        f"{cell['jobs']:6d} jobs  {cols}  {' '.join(extras)}  "
+        f"identical={cell['logs_identical']}"
+    )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small scales for CI smoke runs")
+    parser.add_argument("--xl", action="store_true",
+                        help="the 16k-server / 200k-job acceptance tier "
+                             "(incremental + array backends only)")
     parser.add_argument("--out", default="BENCH_scale.json",
                         help="result JSON path")
     parser.add_argument("--baseline",
                         help="committed baseline JSON; fail on >2x "
-                             "view-mode epoch-latency regression")
+                             "per-backend epoch-latency regression")
     args = parser.parse_args(argv)
+    if args.quick and args.xl:
+        parser.error("--quick and --xl are mutually exclusive")
 
-    scales = QUICK_SCALES if args.quick else FULL_SCALES
+    if args.xl:
+        scales, backends = XL_SCALES, ("incremental", "array")
+    elif args.quick:
+        scales, backends = QUICK_SCALES, BACKENDS
+    else:
+        scales, backends = FULL_SCALES, BACKENDS
+
     cells = []
     for servers, jobs in scales:
         for scheme in sorted(SCHEMES):
-            cell = run_cell(servers, jobs, scheme)
+            cell = run_cell(servers, jobs, scheme, backends)
             cells.append(cell)
-            print(
-                f"{scheme:4s} {servers:5d} servers {jobs:6d} jobs  "
-                f"legacy {cell['legacy']['mean_ms']:8.3f} ms  "
-                f"view {cell['view']['mean_ms']:8.3f} ms  "
-                f"speedup {cell['speedup']:.2f}x  "
-                f"skipped {cell['view']['epochs_skipped']:5d}  "
-                f"identical={cell['logs_identical']}"
-            )
+            _print_cell(cell)
 
     top = [c for c in cells if c["servers"] >= 2000 and c["jobs"] >= 20000]
+    array_speedups = [
+        c["array_over_incremental"]
+        for c in cells
+        if c["array_over_incremental"]
+    ]
     result = {
         "config": {
             "days": DAYS,
             "seed": SEED,
             "target_load": TARGET_LOAD,
             "quick": args.quick,
+            "xl": args.xl,
+            "backends": list(backends),
         },
         "cells": cells,
         "all_logs_identical": all(c["logs_identical"] for c in cells),
-        "min_speedup": min(c["speedup"] for c in cells),
-        "acceptance_scale_speedup": (
-            min(c["speedup"] for c in top) if top else None
+        "min_array_over_incremental": (
+            min(array_speedups) if array_speedups else None
+        ),
+        "acceptance_scale_array_over_incremental": (
+            min(c["array_over_incremental"] for c in top) if top else None
+        ),
+        "max_array_mean_ms": max(
+            c["backends"]["array"]["mean_ms"]
+            for c in cells
+            if "array" in c["backends"]
         ),
     }
     with atomic_write(args.out) as fh:
@@ -202,9 +277,26 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
 
     if not result["all_logs_identical"]:
-        print("FAIL: incremental view changed the activity log",
+        print("FAIL: a view backend changed the activity log",
               file=sys.stderr)
         return 1
+    if args.xl:
+        bar = result["acceptance_scale_array_over_incremental"]
+        if bar is None or bar < XL_MIN_ARRAY_SPEEDUP:
+            print(
+                f"FAIL: array-over-incremental speedup {bar} below the "
+                f"{XL_MIN_ARRAY_SPEEDUP}x acceptance bar",
+                file=sys.stderr,
+            )
+            return 1
+        if result["max_array_mean_ms"] > XL_MAX_ARRAY_MEAN_MS:
+            print(
+                f"FAIL: array mean epoch "
+                f"{result['max_array_mean_ms']:.3f} ms exceeds the "
+                f"{XL_MAX_ARRAY_MEAN_MS} ms bar",
+                file=sys.stderr,
+            )
+            return 1
     if args.baseline:
         failures = check_baseline(cells, args.baseline)
         if failures:

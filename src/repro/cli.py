@@ -251,6 +251,8 @@ def cmd_run(args) -> int:
     if getattr(args, "trace", None):
         obs = Observability.enabled()
     sim_overrides = _fault_overrides(args)
+    if getattr(args, "view_backend", None):
+        sim_overrides["view_backend"] = args.view_backend
     explain = getattr(args, "explain", False)
     if explain:
         sim_overrides["record_plans"] = True
@@ -797,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_setup_args(run_p)
     run_p.add_argument("--scheme", default="lyra", choices=sorted(SCHEMES))
     run_p.add_argument("--scenario", default="basic", choices=SCENARIOS)
+    run_p.add_argument(
+        "--view-backend", default=None,
+        choices=["legacy", "incremental", "array"],
+        help="scheduling-view implementation: full scan each epoch "
+             "(legacy), delta-maintained dict view (incremental, the "
+             "default), or the numpy structure-of-arrays mirror (array); "
+             "all three produce byte-identical logs",
+    )
     run_p.add_argument("--scaling-model", default="linear",
                        choices=["linear", "sublinear20"])
     run_p.add_argument("--json", action="store_true")

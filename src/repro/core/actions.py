@@ -505,6 +505,10 @@ class PlanTransaction:
             elif tag == "group":
                 _, server, previous = entry
                 server.group = previous
+                view = getattr(self._sim, "view", None)
+                if view is not None:
+                    # mirroring backends track group state in columns
+                    view.note_group_change(server)
         for pre in self._job_pre.values():
             job = pre["job"]
             job.status = pre["status"]

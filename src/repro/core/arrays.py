@@ -1,0 +1,472 @@
+"""Structure-of-arrays scheduling core (the ``view_backend="array"`` path).
+
+At 16k servers / 200k jobs the per-object Python iteration behind the
+:class:`~repro.core.view.ClusterView` dominates every phase the
+PhaseProfiler measures: ranking placement candidates walks and sorts
+thousands of ``Server`` objects per placed job, and the FIFO/SJF
+admission scan touches every pending job per epoch.
+:class:`ArrayClusterView` mirrors the *hot* server state into numpy
+structure-of-arrays columns — free levels, on-loan flags, GPU-type
+codes, placement-group codes, perf factors — maintained from exactly
+the same deltas that already feed the dict-indexed view
+(``Server._on_change``, ``server_added``/``server_removed``, the
+queue/health notes), and answers the placement engine's questions with
+vectorized masks instead of object scans.
+
+Bit-exactness contract
+----------------------
+
+The array backend must keep every golden scenario byte-identical to the
+legacy full-scan path.  Three rules make that tractable:
+
+* **Integer state is mirrored, float state is ranked.**  Free levels,
+  capacities and worker costs are integers — vector math over them is
+  exact.  Float values (perf factors, preemption costs) are only ever
+  *compared*, never re-accumulated in a different order.
+* **Selection is by total order.**  The placement sort key ends in
+  ``server_id``, so the best candidate is unique; ``np.lexsort`` over
+  the key columns picks the same server a sorted Python list would,
+  regardless of slot order.
+* **Version discipline is inherited.**  The array columns piggyback on
+  the parent view's delta entry points and never add version bumps of
+  their own, so epoch-skipping and version-keyed caches behave exactly
+  as they do under ``view_backend="incremental"``.
+
+Snapshot/restore: numpy columns are *derived* state.  ``__getstate__``
+drops them and restore rebuilds lazily on first query (the parent's
+dict indexes stay pickled for bucket-order fidelity); every array
+answer is slot-order independent, so a rebuilt layout cannot change
+decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.server import BASE_GROUP, FLEX_GROUP, Server
+from repro.core.view import ClusterView
+
+#: group codes mirrored into the ``group_code`` column
+_GROUP_CODES = {None: 0, BASE_GROUP: 1, FLEX_GROUP: 2}
+
+#: initial slot capacity; columns grow geometrically
+_INITIAL_SLOTS = 64
+
+
+class ArrayClusterView(ClusterView):
+    """A :class:`ClusterView` that also maintains numpy hot-state columns.
+
+    The dict-indexed state of the parent class is still maintained (it
+    is the pickled source of truth and serves ``pools()`` /
+    ``ordered_pending`` / the bucket index); the arrays add vectorized
+    candidate selection (:meth:`select_best`), domain capacity
+    (:meth:`domain_capacity`) and bulk admission masks
+    (:meth:`admission_arrays` callers in ``SchedulerPolicy``).
+    """
+
+    #: capability tag checked by the placement engine / policy helpers
+    backend = "array"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        default_onloan_cost: float = 3.0,
+        jobs=None,
+        attach: bool = True,
+    ):
+        # _arrays_ready means "the column containers exist and are
+        # delta-current"; it must be True before super().__init__ so the
+        # initial rebuild() can index into them, and False after an
+        # unpickle until _ensure_arrays() reconstructs them.
+        self._arr_init()
+        self._arrays_ready = True
+        super().__init__(
+            cluster,
+            default_onloan_cost=default_onloan_cost,
+            jobs=jobs,
+            attach=attach,
+        )
+
+    # ------------------------------------------------------------------
+    # column storage
+    # ------------------------------------------------------------------
+    def _arr_init(self, slots: int = _INITIAL_SLOTS) -> None:
+        self._free = np.zeros(slots, dtype=np.int64)
+        self._num_gpus = np.zeros(slots, dtype=np.int64)
+        self._on_loan = np.zeros(slots, dtype=bool)
+        self._type_code = np.zeros(slots, dtype=np.int64)
+        self._group_code = np.zeros(slots, dtype=np.int64)
+        self._perf = np.ones(slots, dtype=np.float64)
+        self._has_alloc = np.zeros(slots, dtype=bool)
+        self._active = np.zeros(slots, dtype=bool)
+        self._id_rank = np.zeros(slots, dtype=np.int64)
+        self._slot_of: Dict[str, int] = {}
+        self._server_at: List[Optional[Server]] = [None] * slots
+        self._free_slots: List[int] = list(range(slots - 1, -1, -1))
+        #: GPU type name -> column code, and per-code relative compute
+        self._type_codes: Dict[str, int] = {}
+        self._rel_by_code: List[float] = []
+        self._ranks_stale = True
+
+    def _arr_reset(self) -> None:
+        self._arr_init(len(self._active))
+
+    def _grow(self) -> None:
+        old = len(self._active)
+        new = old * 2
+        for name in (
+            "_free", "_num_gpus", "_on_loan", "_type_code", "_group_code",
+            "_perf", "_has_alloc", "_active", "_id_rank",
+        ):
+            col = getattr(self, name)
+            grown = np.zeros(new, dtype=col.dtype)
+            if name == "_perf":
+                grown[:] = 1.0
+            grown[:old] = col
+            setattr(self, name, grown)
+        self._server_at.extend([None] * (new - old))
+        self._free_slots.extend(range(new - 1, old - 1, -1))
+
+    def _code_for(self, type_name: str, rel_compute: float) -> int:
+        code = self._type_codes.get(type_name)
+        if code is None:
+            code = len(self._rel_by_code)
+            self._type_codes[type_name] = code
+            self._rel_by_code.append(rel_compute)
+        return code
+
+    # ------------------------------------------------------------------
+    # delta maintenance (piggybacks on the parent's entry points)
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        if not getattr(self, "_arrays_ready", False):
+            self._arr_init()
+            self._arrays_ready = True
+        else:
+            self._arr_reset()
+        super().rebuild()
+
+    def _index(self, server: Server) -> None:
+        super()._index(server)
+        if not self._arrays_ready:
+            return
+        if not self._free_slots:
+            self._grow()
+        slot = self._free_slots.pop()
+        sid = server.server_id
+        self._slot_of[sid] = slot
+        self._server_at[slot] = server
+        self._free[slot] = server.free_gpus
+        self._num_gpus[slot] = server.num_gpus
+        self._on_loan[slot] = server.on_loan
+        self._type_code[slot] = self._code_for(
+            server.gpu_type.name, server.gpu_type.relative_compute
+        )
+        self._group_code[slot] = _GROUP_CODES[server.group]
+        self._perf[slot] = server.perf_factor
+        self._has_alloc[slot] = bool(server.allocations)
+        self._active[slot] = True
+        self._ranks_stale = True
+
+    def _deindex(self, server: Server) -> None:
+        super()._deindex(server)
+        if not self._arrays_ready:
+            return
+        slot = self._slot_of.pop(server.server_id, None)
+        if slot is None:
+            return
+        self._active[slot] = False
+        self._server_at[slot] = None
+        self._free_slots.append(slot)
+        self._ranks_stale = True
+
+    def server_changed(self, server: Server) -> None:
+        super().server_changed(server)
+        if not self._arrays_ready:
+            return
+        slot = self._slot_of.get(server.server_id)
+        if slot is not None:
+            self._free[slot] = server.free_gpus
+            self._has_alloc[slot] = bool(server.allocations)
+            self._group_code[slot] = _GROUP_CODES[server.group]
+
+    def note_group_change(self, server: Server) -> None:
+        """A member server's placement group was (re)assigned.
+
+        Group assignment happens *after* the allocation hook fires (and
+        group rollback after the release hook), so the column refresh in
+        :meth:`server_changed` cannot see it — placement and the plan
+        journal call this explicitly.  No version bump: the base view
+        reads ``Server.group`` live and bumps via the accompanying
+        allocate/release delta.
+        """
+        if not self._arrays_ready:
+            return
+        slot = self._slot_of.get(server.server_id)
+        if slot is not None:
+            self._group_code[slot] = _GROUP_CODES[server.group]
+
+    def note_server_attrs(self, server: Server) -> None:
+        """A member server's non-book attributes changed (perf factor)."""
+        if self._arrays_ready:
+            slot = self._slot_of.get(server.server_id)
+            if slot is not None:
+                self._perf[slot] = server.perf_factor
+        super().note_server_attrs(server)
+
+    # ------------------------------------------------------------------
+    # serialization: arrays are derived state — drop and rebuild lazily
+    # ------------------------------------------------------------------
+    _ARRAY_FIELDS = (
+        "_free", "_num_gpus", "_on_loan", "_type_code", "_group_code",
+        "_perf", "_has_alloc", "_active", "_id_rank", "_slot_of",
+        "_server_at", "_free_slots", "_type_codes", "_rel_by_code",
+        "_ranks_stale",
+    )
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        for name in self._ARRAY_FIELDS:
+            state.pop(name, None)
+        state["_arrays_ready"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # columns absent until the first query; delta entry points guard
+        # on _arrays_ready and the parent dict state carries everything
+        self.__dict__.update(state)
+
+    def _ensure_arrays(self) -> None:
+        if self._arrays_ready:
+            return
+        self._arr_init()
+        for server in self.cluster.servers:
+            if not self._free_slots:
+                self._grow()
+            slot = self._free_slots.pop()
+            sid = server.server_id
+            self._slot_of[sid] = slot
+            self._server_at[slot] = server
+            self._free[slot] = server.free_gpus
+            self._num_gpus[slot] = server.num_gpus
+            self._on_loan[slot] = server.on_loan
+            self._type_code[slot] = self._code_for(
+                server.gpu_type.name, server.gpu_type.relative_compute
+            )
+            self._group_code[slot] = _GROUP_CODES[server.group]
+            self._perf[slot] = server.perf_factor
+            self._has_alloc[slot] = bool(server.allocations)
+            self._active[slot] = True
+        self._ranks_stale = True
+        self._arrays_ready = True
+
+    def _ranks(self) -> np.ndarray:
+        """Lexicographic rank of each active slot's server id.
+
+        Makes ``server_id`` usable as the final tie-break column of a
+        vectorized sort key: recomputed only when membership changes
+        (loans/reclaims), which is orders of magnitude rarer than
+        placement queries.
+        """
+        if self._ranks_stale:
+            for rank, sid in enumerate(sorted(self._slot_of)):
+                self._id_rank[self._slot_of[sid]] = rank
+            self._ranks_stale = False
+        return self._id_rank
+
+    # ------------------------------------------------------------------
+    # vectorized queries
+    # ------------------------------------------------------------------
+    def _worker_cost_by_code(self, gpus_per_worker: int) -> np.ndarray:
+        """Per-type physical GPUs per worker (§5.2 normalization)."""
+        rel = np.asarray(self._rel_by_code, dtype=np.float64)
+        if rel.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.ceil(gpus_per_worker / rel).astype(np.int64)
+
+    def _eligible_mask(
+        self,
+        gpus_per_worker: int,
+        train_ok: bool,
+        loan_ok: bool,
+        type_lock: Optional[str],
+        unhealthy_ids: Optional[Set[str]] = None,
+    ) -> Optional[np.ndarray]:
+        """Boolean slot mask of servers able to host one worker."""
+        self._ensure_arrays()
+        cost_by_code = self._worker_cost_by_code(gpus_per_worker)
+        if cost_by_code.size == 0:
+            return None
+        mask = self._active.copy()
+        if not train_ok:
+            mask &= self._on_loan
+        if not loan_ok:
+            mask &= ~self._on_loan
+        if type_lock is not None:
+            code = self._type_codes.get(type_lock)
+            if code is None:
+                return None
+            mask &= self._type_code == code
+        cost = cost_by_code[self._type_code]
+        mask &= (cost > 0) & (self._free >= cost)
+        if unhealthy_ids:
+            for sid in unhealthy_ids:
+                slot = self._slot_of.get(sid)
+                if slot is not None:
+                    mask[slot] = False
+        return mask if mask.any() else None
+
+    def select_best(
+        self,
+        gpus_per_worker: int,
+        train_ok: bool,
+        loan_ok: bool,
+        type_lock: Optional[str],
+        flexible: bool,
+        heterogeneous: bool,
+        elastic: bool,
+        special_grouping: bool,
+        unhealthy_ids: Optional[Set[str]] = None,
+        exclude_ids: Optional[Set[str]] = None,
+    ) -> Optional[Server]:
+        """The placement engine's best candidate, without a Python sort.
+
+        Replicates the engine's exact ranking — ``(preference tier,
+        -perf_factor, idle, free_gpus, server_id)`` — over the column
+        mirror.  The key is a total order, so the winner is the first
+        element of the sorted candidate list the legacy scan builds.
+        """
+        mask = self._eligible_mask(
+            gpus_per_worker, train_ok, loan_ok, type_lock, unhealthy_ids
+        )
+        if mask is None:
+            return None
+        if exclude_ids:
+            for sid in exclude_ids:
+                slot = self._slot_of.get(sid)
+                if slot is not None:
+                    mask[slot] = False
+        slots = np.flatnonzero(mask)
+        if slots.size == 0:
+            return None
+        on_loan = self._on_loan[slots]
+        # preference tiers, mirroring PlacementEngine._preference
+        if not special_grouping:
+            pref = on_loan.astype(np.int64)
+        elif heterogeneous:
+            if flexible:
+                pref = np.where(on_loan, 0, 1)
+            else:
+                pref = np.where(on_loan, 1, 0)
+        elif elastic:
+            wanted = _GROUP_CODES[FLEX_GROUP if flexible else BASE_GROUP]
+            group = self._group_code[slots]
+            pref = np.where(
+                on_loan,
+                np.where(group == wanted, 0, np.where(group == 0, 1, 3)),
+                2,
+            )
+        else:
+            pref = on_loan.astype(np.int64)
+        order = np.lexsort((
+            self._ranks()[slots],
+            self._free[slots],
+            ~self._has_alloc[slots],  # the `idle` key component
+            -self._perf[slots],
+            pref,
+        ))
+        return self._server_at[int(slots[order[0]])]
+
+    def domain_capacity(
+        self, on_loan: bool, cost_for_type: Callable[[str], int]
+    ) -> int:
+        """Whole workers one domain can host — vectorized, same integers."""
+        self._ensure_arrays()
+        if not self._type_codes:
+            return 0
+        cost_by_code = np.zeros(len(self._rel_by_code), dtype=np.int64)
+        for tname, code in self._type_codes.items():
+            cost_by_code[code] = cost_for_type(tname)
+        mask = self._active & (self._on_loan == on_loan)
+        cost = cost_by_code[self._type_code[mask]]
+        free = self._free[mask]
+        valid = cost > 0
+        if not valid.any():
+            return 0
+        return int((free[valid] // cost[valid]).sum())
+
+    def candidates(
+        self,
+        cost_for_type: Callable[[str], int],
+        domain_ok: Callable[[bool], bool],
+        type_lock: Optional[str] = None,
+    ) -> List[Server]:
+        """Same candidate *set* as the bucket walk, via one mask."""
+        self._ensure_arrays()
+        if not self._type_codes:
+            return []
+        cost_by_code = np.zeros(len(self._rel_by_code), dtype=np.int64)
+        for tname, code in self._type_codes.items():
+            cost_by_code[code] = cost_for_type(tname)
+        mask = self._active.copy()
+        if type_lock is not None:
+            code = self._type_codes.get(type_lock)
+            if code is None:
+                return []
+            mask &= self._type_code == code
+        train_ok, loan_ok = domain_ok(False), domain_ok(True)
+        if not train_ok:
+            mask &= self._on_loan
+        if not loan_ok:
+            mask &= ~self._on_loan
+        cost = cost_by_code[self._type_code]
+        mask &= (cost > 0) & (self._free >= cost)
+        return [self._server_at[int(s)] for s in np.flatnonzero(mask)]
+
+    # ------------------------------------------------------------------
+    # consistency (extends the parent property-test contract)
+    # ------------------------------------------------------------------
+    def array_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-server column values as plain comparable structures."""
+        self._ensure_arrays()
+        out: Dict[str, Dict[str, object]] = {}
+        inv_groups = {v: k for k, v in _GROUP_CODES.items()}
+        inv_types = {v: k for k, v in self._type_codes.items()}
+        for sid, slot in self._slot_of.items():
+            out[sid] = {
+                "free": int(self._free[slot]),
+                "num_gpus": int(self._num_gpus[slot]),
+                "on_loan": bool(self._on_loan[slot]),
+                "type": inv_types[int(self._type_code[slot])],
+                "group": inv_groups[int(self._group_code[slot])],
+                "perf": float(self._perf[slot]),
+                "has_alloc": bool(self._has_alloc[slot]),
+            }
+        return out
+
+    def assert_consistent(self) -> None:
+        super().assert_consistent()
+        self._ensure_arrays()
+        live = self.array_snapshot()
+        fresh: Dict[str, Dict[str, object]] = {}
+        for server in self.cluster.servers:
+            fresh[server.server_id] = {
+                "free": server.free_gpus,
+                "num_gpus": server.num_gpus,
+                "on_loan": server.on_loan,
+                "type": server.gpu_type.name,
+                "group": server.group,
+                "perf": server.perf_factor,
+                "has_alloc": bool(server.allocations),
+            }
+        assert live == fresh, (
+            f"array mirror drift:\n  mirror: {live!r}\n  rebuilt: {fresh!r}"
+        )
+        active = int(self._active.sum())
+        assert active == len(self._slot_of) == len(fresh), (
+            f"slot bookkeeping drift: {active} active slots, "
+            f"{len(self._slot_of)} mapped, {len(fresh)} servers"
+        )

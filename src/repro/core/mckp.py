@@ -18,6 +18,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
+try:  # the array fast path; the scalar DP below is the full fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 
 @dataclass(frozen=True)
 class Item:
@@ -38,30 +43,12 @@ class Item:
             raise ValueError(f"weight must be >= 0, got {self.weight}")
 
 
-def solve_mckp(
+def _dp_scalar(
     groups: Sequence[Sequence[Item]], capacity: int
-) -> Tuple[float, List[Optional[Item]]]:
-    """Solve MCKP by dynamic programming.
-
-    Args:
-        groups: One sequence of candidate items per group; picking zero
-            items from a group is always allowed.
-        capacity: Knapsack capacity (non-negative integer).
-
-    Returns:
-        ``(total_value, choices)`` where ``choices[i]`` is the item chosen
-        from ``groups[i]`` or None.  Runs in ``O(len(items) * capacity)``
-        time and ``O(len(groups) * capacity)`` space.
-    """
-    if capacity < 0:
-        raise ValueError(f"capacity must be >= 0, got {capacity}")
-
-    num_groups = len(groups)
-    # dp[c] = best value using groups processed so far within capacity c.
+) -> Tuple[Sequence[float], List[Sequence[int]]]:
+    """The reference DP: pure-Python row updates."""
     dp = [0.0] * (capacity + 1)
-    # choice[g][c] = index of item taken from group g at capacity c, or -1.
-    choice: List[List[int]] = []
-
+    choice: List[Sequence[int]] = []
     for group in groups:
         new_dp = dp[:]  # taking nothing from this group is always valid
         taken = [-1] * (capacity + 1)
@@ -75,13 +62,81 @@ def solve_mckp(
                     taken[cap] = idx
         dp = new_dp
         choice.append(taken)
+    return dp, choice
+
+
+def _dp_numpy(
+    groups: Sequence[Sequence[Item]], capacity: int
+) -> Tuple[Sequence[float], List[Sequence[int]]]:
+    """The vectorized DP: per-item shifted-row updates.
+
+    Bit-exact with :func:`_dp_scalar`: items are still visited in order
+    and each update computes ``dp[c - w] + v`` — the identical IEEE-754
+    double operation the scalar inner loop performs, just over the whole
+    capacity row at once.  (Per-*group* batching via reductions is NOT
+    used: numpy's pairwise summation/maximum trees can round differently
+    from a left-to-right scan, which would break the golden-log pin.)
+    """
+    dp = _np.zeros(capacity + 1, dtype=_np.float64)
+    choice: List[Sequence[int]] = []
+    for group in groups:
+        new_dp = dp.copy()  # taking nothing is always valid
+        taken = _np.full(capacity + 1, -1, dtype=_np.int64)
+        for idx, item in enumerate(group):
+            w = item.weight
+            if w > capacity or item.value <= 0:
+                continue
+            candidate = dp[: capacity + 1 - w] + item.value
+            target = new_dp[w:]
+            better = candidate > target
+            target[better] = candidate[better]
+            taken[w:][better] = idx
+        dp = new_dp
+        choice.append(taken)
+    return dp, choice
+
+
+def solve_mckp(
+    groups: Sequence[Sequence[Item]], capacity: int,
+    use_numpy: Optional[bool] = None,
+) -> Tuple[float, List[Optional[Item]]]:
+    """Solve MCKP by dynamic programming.
+
+    Args:
+        groups: One sequence of candidate items per group; picking zero
+            items from a group is always allowed.
+        capacity: Knapsack capacity (non-negative integer).
+        use_numpy: Force the vectorized (True) or scalar (False) DP
+            kernel; None picks numpy when available.  Both kernels are
+            bit-exact (property-pinned), so this is a performance knob
+            only.
+
+    Returns:
+        ``(total_value, choices)`` where ``choices[i]`` is the item chosen
+        from ``groups[i]`` or None.  Runs in ``O(len(items) * capacity)``
+        time and ``O(len(groups) * capacity)`` space.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+
+    num_groups = len(groups)
+    if use_numpy is None:
+        use_numpy = _np is not None
+    if use_numpy and _np is None:
+        raise RuntimeError("use_numpy=True but numpy is unavailable")
+    if use_numpy:
+        dp, choice = _dp_numpy(groups, capacity)
+        # first index achieving the max, matching the scalar argmax walk
+        cap = int(_np.argmax(dp))
+    else:
+        dp, choice = _dp_scalar(groups, capacity)
+        cap = max(range(capacity + 1), key=lambda c: dp[c])
 
     # Reconstruct the chosen item per group by walking groups backwards.
     choices: List[Optional[Item]] = [None] * num_groups
-    cap = max(range(capacity + 1), key=lambda c: dp[c])
-    best_value = dp[cap]
+    best_value = float(dp[cap])
     for g in range(num_groups - 1, -1, -1):
-        idx = choice[g][cap]
+        idx = int(choice[g][cap])
         if idx >= 0:
             item = groups[g][idx]
             choices[g] = item

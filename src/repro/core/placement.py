@@ -215,6 +215,8 @@ class PlacementEngine:
     # ------------------------------------------------------------------
     def _place_workers(self, job: Job, workers: int, flexible: bool) -> int:
         """Place up to ``workers`` workers; returns how many were placed."""
+        if getattr(self.view, "backend", None) == "array":
+            return self._place_workers_array(job, workers, flexible)
         remaining = workers
         while remaining > 0:
             placed_this_round = 0
@@ -255,9 +257,95 @@ class PlacementEngine:
                         # the plan journal its pre-image for rollback
                         journal.record_group(server)
                     server.group = FLEX_GROUP if flexible else BASE_GROUP
+                    if self.view is not None:
+                        self.view.note_group_change(server)
                 remaining -= fit
                 placed_this_round += fit
                 break  # re-rank candidates after each placement
+            if placed_this_round == 0:
+                break
+        return workers - remaining
+
+    def _place_workers_array(
+        self, job: Job, workers: int, flexible: bool
+    ) -> int:
+        """The array-backend twin of :meth:`_place_workers`.
+
+        The legacy loop sorts the full candidate list but only ever uses
+        its head: it places on the first server that works, then
+        re-ranks.  The ranking key is a total order, so asking the array
+        view for the single best candidate (excluding servers whose
+        launch just failed transiently, exactly as the list walk skips
+        them within one round) visits the same servers in the same
+        order — without building or sorting a list per round.
+        """
+        view = self.view
+        train_ok = self._domain_eligible(job, False)
+        loan_ok = self._domain_eligible(job, True)
+        unhealthy = None
+        if self.rm is not None:
+            unhealthy = self.rm.unhealthy_ids()
+        remaining = workers
+        while remaining > 0:
+            placed_this_round = 0
+            failed_ids: Optional[set] = None
+            # recomputed per round: the first placed worker type-locks a
+            # non-heterogeneous job for the rest of its placement
+            lock = self._gpu_type_lock(job)
+            while True:
+                server = view.select_best(
+                    job.spec.gpus_per_worker,
+                    train_ok,
+                    loan_ok,
+                    lock,
+                    flexible,
+                    job.spec.heterogeneous,
+                    job.elastic,
+                    self.special_elastic_grouping,
+                    unhealthy_ids=unhealthy,
+                    exclude_ids=failed_ids,
+                )
+                if server is None:
+                    break
+                cost = self.worker_cost(job, server)
+                fit = min(remaining, server.free_gpus // cost)
+                if self.rm is not None:
+                    try:
+                        self.rm.launch(
+                            job, server, fit, cost, flexible=flexible,
+                            now=self.now,
+                        )
+                    except TransientLaunchError:
+                        # retries exhausted here; books untouched — the
+                        # next-best candidate is the next list entry
+                        if failed_ids is None:
+                            failed_ids = set()
+                        failed_ids.add(server.server_id)
+                        continue
+                else:
+                    server.allocate(job.job_id, fit * cost)
+                    job.record_placement(
+                        server.server_id,
+                        fit,
+                        flexible=flexible,
+                        gpu_cost=cost,
+                        on_loan=server.on_loan,
+                    )
+                if (
+                    self.special_elastic_grouping
+                    and server.on_loan
+                    and server.group is None
+                    and job.elastic
+                    and not job.spec.heterogeneous
+                ):
+                    journal = getattr(self.rm, "journal", None)
+                    if journal is not None:
+                        journal.record_group(server)
+                    server.group = FLEX_GROUP if flexible else BASE_GROUP
+                    view.note_group_change(server)
+                remaining -= fit
+                placed_this_round += fit
+                break  # re-rank (ask for a fresh best) after a placement
             if placed_this_round == 0:
                 break
         return workers - remaining

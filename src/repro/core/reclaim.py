@@ -139,11 +139,74 @@ def preemption_cost_index(
     The ClusterView caches this index keyed by its delta version, so the
     orchestrator's reclaim tracing reads costs without rescanning job
     placements between capacity changes.
+
+    Batched: the per-job quantities each cost model needs — the base
+    span reciprocal (SERVER_FRACTION) or the placement-wide GPU total
+    (GPU_FRACTION) — are computed once per job and shared across every
+    server the job touches, instead of being rederived per (server, job)
+    pair as :func:`server_preemption_cost` does.  The per-server *sum*
+    stays a left-to-right scan in allocation order: accumulating through
+    a numpy reduction would round differently (pairwise summation) and
+    break bit-equality with the scalar path, which tests pin.
     """
-    return {
-        server.server_id: server_preemption_cost(server, jobs, model)
-        for server in servers
-    }
+    if model is CostModel.GPU_FRACTION:
+        shared: Dict[int, float] = {}
+
+        def term(job: Job, server_id: str) -> float:
+            total = shared.get(job.job_id)
+            if total is None:
+                total = sum(job.gpus_on(sid) for sid in job.servers)
+                shared[job.job_id] = total
+            return job.gpus_on(server_id) / total if total else 0.0
+
+    elif model is CostModel.SERVER_FRACTION:
+        shared = {}
+
+        def term(job: Job, server_id: str) -> float:
+            value = shared.get(job.job_id)
+            if value is None:
+                value = 1.0 / max(1, len(job.base_placement))
+                shared[job.job_id] = value
+            return value
+
+    else:  # JOB_COUNT
+
+        def term(job: Job, server_id: str) -> float:
+            return 1.0
+
+    index: Dict[str, float] = {}
+    for server in servers:
+        sid = server.server_id
+        total = 0
+        for job_id in server.allocations:
+            job = jobs[job_id]
+            if sid in job.base_placement:
+                total = total + term(job, sid)
+        # NB: an empty sum stays the int 0, exactly like the historical
+        # ``sum(...)`` — downstream reprs (plan cost details) see the
+        # same token stream either way.
+        index[sid] = total
+    return index
+
+
+def preemption_cost_matrix(
+    servers: Sequence[Server],
+    jobs: Mapping[int, Job],
+    model: CostModel = CostModel.SERVER_FRACTION,
+) -> Tuple[List[str], "object"]:
+    """``(server_ids, costs)`` with costs as a numpy vector.
+
+    A thin array-shaped façade over :func:`preemption_cost_index` for
+    callers that rank or threshold many candidates at once (dry-run
+    pricing sweeps, benchmarks).  Values are exactly the index's — the
+    vector is built from it, not re-accumulated — so both presentations
+    always agree bit-for-bit.
+    """
+    import numpy as np
+
+    index = preemption_cost_index(servers, jobs, model)
+    ids = [server.server_id for server in servers]
+    return ids, np.array([index[sid] for sid in ids], dtype=np.float64)
 
 
 def initial_greedy_costs(

@@ -82,6 +82,10 @@ def deterministic_onloan_cost(
 class ClusterView:
     """Delta-maintained scheduling state over one (training) cluster."""
 
+    #: backend name, matching ``SimulationConfig.view_backend``;
+    #: subclasses that change the storage layout override this
+    backend = "incremental"
+
     def __init__(
         self,
         cluster: Cluster,
@@ -225,6 +229,26 @@ class ClusterView:
         """Invalidate for a state change the GPU books cannot express
         (node health transitions, straggler degradation)."""
         self.version += 1
+
+    def note_group_change(self, server: Server) -> None:
+        """A member server's placement group was (re)assigned.
+
+        The base view reads ``Server.group`` live and the accompanying
+        allocate/release delta already bumped the version, so this is a
+        no-op here; backends that *mirror* group state (the array view)
+        override it.  Placement and the plan journal's rollback are the
+        only two call sites — group changes nowhere else while a server
+        is a member.
+        """
+
+    def note_server_attrs(self, server: Server) -> None:
+        """A member server's non-book attributes changed (perf factor).
+
+        Equivalent to :meth:`bump` for this backend; mirroring backends
+        additionally refresh the server's column entries.  Callers must
+        invoke this *after* mutating the attribute.
+        """
+        self.bump()
 
     # ------------------------------------------------------------------
     # queries: pools and on-loan cost

@@ -325,10 +325,15 @@ def metamorphic_divergence(seed: int) -> Optional[str]:
 # ----------------------------------------------------------------------
 # scenario replays
 # ----------------------------------------------------------------------
+#: every scheduling-state backend `repro check` sweeps; "legacy" is the
+#: reference implementation the other two must match byte-for-byte
+VIEW_BACKENDS = ("legacy", "incremental", "array")
+
+
 def build_replay_sim(
     scheme: str,
     seed: int,
-    incremental: bool = True,
+    backend: str = "incremental",
     probe: Optional[Callable[[str, str, dict], None]] = None,
 ):
     """Wire (but do not run) the conformance mini-scenario."""
@@ -351,7 +356,7 @@ def build_replay_sim(
         seed=seed,
         sim_overrides={
             "record_activities": True,
-            "incremental_view": incremental,
+            "view_backend": backend,
         },
         **policy_kwargs,
     )
@@ -363,7 +368,7 @@ def build_replay_sim(
 def replay_scenario(
     scheme: str,
     seed: int,
-    incremental: bool,
+    backend: str = "incremental",
     probe: Optional[Callable[[str, str, dict], None]] = None,
 ):
     """Run one mini-scenario to completion and return the Simulation.
@@ -374,7 +379,7 @@ def replay_scenario(
     policy's ``conformance_probe`` before the run, so every
     ``emit_decision`` payload flows through it.
     """
-    sim = build_replay_sim(scheme, seed, incremental, probe)
+    sim = build_replay_sim(scheme, seed, backend, probe)
     sim.run()
     return sim
 
@@ -383,7 +388,9 @@ def recovery_divergence(scheme: str, seed: int) -> Optional[str]:
     """Kill the mini-scenario mid-run and recover it from disk.
 
     The crash barrier cycles with the seed through the full taxonomy
-    (between events, mid plan-commit, right after the WAL append).  The
+    (between events, mid plan-commit, right after the WAL append), and
+    the view backend alternates between incremental and array so the
+    snapshot round-trip of both mirror layers stays covered.  The
     recovered-and-resumed run must reproduce the continuous run's
     Activity log byte-for-byte; a barrier that never occurs after the
     kill time simply degenerates into checking that a *checkpointed*
@@ -400,12 +407,13 @@ def recovery_divergence(scheme: str, seed: int) -> Optional[str]:
     )
     from repro.recovery import RecoveryError, RecoveryManager
 
-    reference = replay_scenario(scheme, seed, incremental=True)
+    backend = ("incremental", "array")[seed % 2]
+    reference = replay_scenario(scheme, seed, backend=backend)
     horizon = reference.now
     barrier = BARRIERS[seed % len(BARRIERS)]
     workdir = tempfile.mkdtemp(prefix="repro-oracle-recovery-")
     try:
-        sim = build_replay_sim(scheme, seed, incremental=True)
+        sim = build_replay_sim(scheme, seed, backend=backend)
         manager = RecoveryManager(
             workdir,
             checkpoint_every=max(horizon / 7.0, 60.0),
@@ -455,13 +463,14 @@ def recovery_divergence(scheme: str, seed: int) -> Optional[str]:
 
 
 def replay_divergence(scheme: str, seed: int) -> Optional[str]:
-    """Replay one scheme in both view modes and diff everything observable.
+    """Replay one scheme in every view backend and diff everything observable.
 
-    The incremental-view run carries a conformance probe that captures
-    the MCKP instances the scheduler actually solved; small ones are
-    re-solved by brute force in situ.  Then the two Activity logs must
-    match event-for-event, the books must balance, the view must be
-    consistent, and the executor must not have rejected any plan.
+    The legacy full-scan run is the reference; the incremental and array
+    backends must match it event-for-event.  The incremental-view run
+    carries a conformance probe that captures the MCKP instances the
+    scheduler actually solved; small ones are re-solved by brute force
+    in situ.  Books must balance and each backend's view must be
+    consistent; any divergence message names the backend that drifted.
     """
     captured: List[tuple] = []
 
@@ -475,39 +484,51 @@ def replay_divergence(scheme: str, seed: int) -> Optional[str]:
                  decision.mckp_value)
             )
 
-    fast = replay_scenario(scheme, seed, incremental=True, probe=probe)
-    legacy = replay_scenario(scheme, seed, incremental=False)
-
-    if len(fast.activities) != len(legacy.activities):
-        return (
-            f"view modes recorded different activity counts: "
-            f"{len(fast.activities)} incremental vs "
-            f"{len(legacy.activities)} legacy"
+    legacy = replay_scenario(scheme, seed, backend="legacy")
+    runs = [("legacy", legacy)]
+    for backend in VIEW_BACKENDS:
+        if backend == "legacy":
+            continue
+        sim = replay_scenario(
+            scheme, seed, backend=backend,
+            probe=probe if backend == "incremental" else None,
         )
-    for i, (a, b) in enumerate(zip(fast.activities, legacy.activities)):
-        if a != b:
+        runs.append((backend, sim))
+        if len(sim.activities) != len(legacy.activities):
             return (
-                f"view modes diverge at activity {i}: incremental "
-                f"t={a.time!r} {a.kind.value} job={a.job_id!r} "
-                f"{a.detail!r} vs legacy t={b.time!r} {b.kind.value} "
-                f"job={b.job_id!r} {b.detail!r}"
+                f"backend {backend!r} recorded "
+                f"{len(sim.activities)} activities vs "
+                f"{len(legacy.activities)} legacy"
             )
+        for i, (a, b) in enumerate(zip(sim.activities, legacy.activities)):
+            if a != b:
+                return (
+                    f"backend {backend!r} diverges from legacy at "
+                    f"activity {i}: {backend} t={a.time!r} {a.kind.value} "
+                    f"job={a.job_id!r} {a.detail!r} vs legacy t={b.time!r} "
+                    f"{b.kind.value} job={b.job_id!r} {b.detail!r}"
+                )
 
-    for label, sim in (("incremental", fast), ("legacy", legacy)):
+    for label, sim in runs:
         try:
             sim.rm.verify_books()
         except Exception as exc:
-            return f"{label} run ended with unbalanced books: {exc}"
+            return (
+                f"backend {label!r} run ended with unbalanced books: {exc}"
+            )
         if sim.executor.plans_rejected:
             return (
-                f"{label} run rejected {sim.executor.plans_rejected} "
-                f"decision plan(s)"
+                f"backend {label!r} run rejected "
+                f"{sim.executor.plans_rejected} decision plan(s)"
             )
-    if fast.view is not None:
-        try:
-            fast.view.assert_consistent()
-        except Exception as exc:
-            return f"incremental view inconsistent after the run: {exc}"
+        if sim.view is not None:
+            try:
+                sim.view.assert_consistent()
+            except Exception as exc:
+                return (
+                    f"backend {label!r} view inconsistent after the "
+                    f"run: {exc}"
+                )
 
     for groups, capacity, reported in captured:
         size = 1
@@ -642,7 +663,10 @@ def run_check(
                 if len(report.divergences) >= max_divergences:
                     return report
                 if progress:
-                    progress(f"replaying {scheme} seed {s} (both view modes)")
+                    progress(
+                        f"replaying {scheme} seed {s} "
+                        f"(backends: {', '.join(VIEW_BACKENDS)})"
+                    )
                 report.checks["replay"] = report.checks.get("replay", 0) + 1
                 detail = replay_divergence(scheme, s)
                 if detail:

@@ -109,6 +109,14 @@ class ResourceManager:
     def is_healthy(self, server_id: str) -> bool:
         return server_id not in self._unhealthy
 
+    def unhealthy_ids(self) -> Set[str]:
+        """The unhealthy-server set (read-only; usually empty).
+
+        The array view's candidate selection masks these out wholesale
+        instead of calling :meth:`is_healthy` per server.
+        """
+        return self._unhealthy
+
     # ------------------------------------------------------------------
     # container lifecycle
     # ------------------------------------------------------------------

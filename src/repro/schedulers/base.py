@@ -17,6 +17,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.cluster.job import Job
 from repro.core.actions import EpochPlan, PlanExecutor, PlanTransaction
 from repro.core.allocation import Pools
@@ -236,6 +238,12 @@ class SchedulerPolicy(abc.ABC):
         started: List[Job] = []
         failed_shapes = set()
         opportunistic = getattr(engine, "opportunistic", False)
+        view = getattr(sim, "view", None)
+        if getattr(view, "backend", None) == "array" and ordered_pending:
+            return self._admit_inelastically_array(
+                sim, engine, pools, ordered_pending,
+                workers_for=workers_for, opportunistic=opportunistic,
+            )
         for job in list(ordered_pending):
             workers = workers_for(job) if workers_for else job.spec.min_workers
             gpus = workers * job.spec.gpus_per_worker
@@ -262,6 +270,80 @@ class SchedulerPolicy(abc.ABC):
             sim.activate(job)
             started.append(job)
         return started
+
+    def _admit_inelastically_array(
+        self,
+        sim: "Simulation",
+        engine: PlacementEngine,
+        pools: Pools,
+        ordered_pending: Sequence[Job],
+        workers_for=None,
+        opportunistic: bool = False,
+    ) -> List[Job]:
+        """The array-backend twin of the admission scan.
+
+        The scalar loop touches every pending job per epoch; with 200k
+        queued jobs that Python iteration *is* the epoch.  This twin
+        precomputes each job's demand, budget class and shape id once,
+        then finds the next admissible job with one vectorized mask.
+
+        Equivalence argument: per-class budgets only shrink during the
+        scan (placements consume GPUs, the on-loan cost factor is fixed
+        while membership is) and the failed-shape set only grows, so a
+        job skipped at its turn could never have been admitted later —
+        the scalar loop's single pass and this mask walk attempt exactly
+        the same jobs in the same order.
+        """
+        jobs = list(ordered_pending)
+        n = len(jobs)
+        gpus = np.empty(n, dtype=np.int64)
+        cls = np.empty(n, dtype=np.int64)
+        worker_counts: List[int] = []
+        shape_ids = np.empty(n, dtype=np.int64)
+        shape_codes: Dict[Tuple, int] = {}
+        for i, job in enumerate(jobs):
+            spec = job.spec
+            workers = workers_for(job) if workers_for else spec.min_workers
+            worker_counts.append(workers)
+            gpus[i] = workers * spec.gpus_per_worker
+            if opportunistic and spec.fungible:
+                cls[i] = 0
+            elif spec.fungible or spec.heterogeneous:
+                cls[i] = 1
+            else:
+                cls[i] = 2
+            shape = (spec.gpus_per_worker, workers, spec.fungible)
+            code = shape_codes.get(shape)
+            if code is None:
+                code = len(shape_codes)
+                shape_codes[shape] = code
+            shape_ids[i] = code
+        failed = np.zeros(len(shape_codes), dtype=bool)
+        alive = np.ones(n, dtype=bool)
+        started: List[Job] = []
+        while True:
+            budgets = np.array(
+                [pools.onloan, pools.total, pools.training], dtype=np.int64
+            )
+            ok = alive & (gpus <= budgets[cls]) & ~failed[shape_ids]
+            hits = np.flatnonzero(ok)
+            if hits.size == 0:
+                return started
+            i = int(hits[0])
+            # everything before i was scanned and skipped for good
+            alive[: i + 1] = False
+            job = jobs[i]
+            with sim.phase(PHASE_PLACEMENT):
+                result = engine.place(
+                    [PlacementRequest(job, base_workers=worker_counts[i])]
+                )
+            if result.failed_base:
+                failed[shape_ids[i]] = True
+                continue
+            pools = self.free_pools(sim)
+            self.update_hetero_penalty(sim, job)
+            sim.activate(job)
+            started.append(job)
 
     # ------------------------------------------------------------------
     # scale-in helper

@@ -85,14 +85,23 @@ class Engine:
         ``until`` are still executed.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            when, _, callback, _tag = self._heap[0]
+        heap = self._heap
+        while heap and not self._stopped:
+            when = heap[0][0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
             self.now = when
-            callback()
+            # Batch: drain every event sharing this timestamp before
+            # re-checking the deadline.  Same-timestamp events a callback
+            # schedules get a larger seq, so they sort after the existing
+            # ones and still run inside this batch — the (time, seq)
+            # execution order is identical to the one-pop-per-iteration
+            # loop, but a heartbeat storm costs one deadline check and
+            # one clock write instead of thousands.
+            while heap and heap[0][0] == when and not self._stopped:
+                callback = heapq.heappop(heap)[2]
+                callback()
         if until is not None and self.now < until:
             self.now = until
         return self.now

@@ -128,6 +128,13 @@ class SimulationConfig:
     #: and serve pools/candidates/queue order from it (False falls back
     #: to the legacy full-scan path; decisions are identical either way)
     incremental_view: bool = True
+    #: which scheduling-state backend serves the policy facades:
+    #: ``"legacy"`` (full scans, no view), ``"incremental"`` (the
+    #: dict-indexed ClusterView) or ``"array"`` (the numpy
+    #: structure-of-arrays mirror, :mod:`repro.core.arrays`).  ``None``
+    #: derives the backend from ``incremental_view`` for back-compat.
+    #: Decisions are byte-identical across all three (golden-pinned).
+    view_backend: Optional[str] = None
     #: keep every applied non-empty :class:`~repro.core.actions.EpochPlan`
     #: (as JSON dicts with pricing) in ``Simulation.plan_log`` — the
     #: ``repro run --explain`` data source
@@ -138,6 +145,18 @@ class SimulationConfig:
             raise ValueError("scheduler_interval must be positive")
         if self.orchestrator_interval <= 0:
             raise ValueError("orchestrator_interval must be positive")
+        if self.view_backend not in (None, "legacy", "incremental", "array"):
+            raise ValueError(
+                f"unknown view_backend {self.view_backend!r}; expected "
+                f"'legacy', 'incremental' or 'array'"
+            )
+
+    def resolved_view_backend(self) -> str:
+        """The effective backend name (``view_backend`` wins; else the
+        legacy ``incremental_view`` flag maps to incremental/legacy)."""
+        if self.view_backend is not None:
+            return self.view_backend
+        return "incremental" if self.incremental_view else "legacy"
 
 
 #: Throughput bonus hyperparameter tuning yields above base demand (§7.4).
@@ -211,13 +230,19 @@ class Simulation:
 
         #: incremental scheduling state; None in legacy full-scan mode
         self.view: Optional[ClusterView] = None
-        if config.incremental_view:
+        backend = config.resolved_view_backend()
+        if backend != "legacy":
+            view_cls = ClusterView
+            if backend == "array":
+                from repro.core.arrays import ArrayClusterView
+
+                view_cls = ArrayClusterView
             default_cost = (
                 1.0 / pair.inference_compute
                 if hasattr(pair, "inference_compute")
                 else 3.0
             )
-            self.view = ClusterView(
+            self.view = view_cls(
                 pair.training,
                 default_onloan_cost=default_cost,
                 jobs=self.jobs,
@@ -1006,9 +1031,6 @@ class Simulation:
         throughput (None restores full speed) and re-time every running
         job it hosts."""
         server = self.rm._server(server_id)
-        if self.view is not None:
-            # perf_factor feeds the placement sort order
-            self.view.bump()
         if factor is None:
             self.degraded_servers.pop(server_id, None)
             if server is not None:
@@ -1017,6 +1039,13 @@ class Simulation:
             self.degraded_servers[server_id] = factor
             if server is not None:
                 server.perf_factor = factor
+        if self.view is not None:
+            # perf_factor feeds the placement sort order; mirroring
+            # backends refresh their column from the updated server
+            if server is not None:
+                self.view.note_server_attrs(server)
+            else:
+                self.view.bump()
         for job in list(self.running.values()):
             if server_id in job.servers:
                 job.advance(self.now)

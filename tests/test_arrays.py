@@ -1,0 +1,359 @@
+"""The structure-of-arrays scheduling core (``repro.core.arrays``).
+
+Property-based coverage of the array backend's central contract: the
+numpy column mirror, maintained incrementally from the same deltas that
+feed the dict-indexed :class:`ClusterView`, must equal a from-scratch
+rebuild after *any* interleaving of cluster mutations — and every
+vectorized query (candidate sets, domain capacity, best-candidate
+selection, the MCKP DP kernel, the batched reclaim index) must return
+bit-identical answers to its scalar reference.
+
+The golden-log suite (``tests/test_equivalence.py``) pins end-to-end
+behaviour; these tests pin the *mechanisms* so a mirror bug is caught at
+the delta that introduced it, not as an opaque digest mismatch.
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.cluster.job import Job, JobSpec
+from repro.core.arrays import ArrayClusterView
+from repro.core.mckp import (
+    Item,
+    solve_mckp,
+    solve_mckp_bruteforce,
+    solution_cost,
+)
+from repro.core.reclaim import (
+    CostModel,
+    preemption_cost_index,
+    preemption_cost_matrix,
+)
+from repro.core.view import ClusterView
+from repro.faults.crash import (
+    BARRIER_BETWEEN_EVENTS,
+    CrashInjector,
+    CrashPoint,
+    SimulatedCrash,
+)
+from repro.recovery import RecoveryManager
+from repro.rm.manager import ResourceManager
+from tests.test_equivalence import digest, run_scenario
+from tests.test_recovery import CHECKPOINT_EVERY, KILL_AT, build_sim
+
+
+def _make_jobs(count: int = 4) -> dict:
+    return {
+        i: Job(JobSpec(
+            job_id=i, submit_time=0.0, duration=1000.0,
+            max_workers=6, min_workers=1, gpus_per_worker=1,
+            elastic=True, fungible=True,
+        ))
+        for i in range(count)
+    }
+
+
+def _random_walk(view, rm, pair, jobs, rng, steps=50, per_step=None):
+    """Drive every mutation source the delta protocol must survive."""
+    ops = ("launch", "scale_in", "release", "loan", "return",
+           "fail", "recover", "direct_alloc", "direct_release",
+           "group", "degrade")
+    now = 0.0
+    for _ in range(steps):
+        now += 1.0
+        op = rng.choice(ops)
+        job = jobs[rng.randrange(len(jobs))]
+        all_servers = pair.training.servers + pair.inference.servers
+        server = rng.choice(all_servers)
+        try:
+            if op == "launch":
+                rm.launch(
+                    job, server, rng.randint(1, 2), 1,
+                    flexible=rng.random() < 0.5, now=now,
+                )
+            elif op == "scale_in":
+                rm.scale_in(job, server.server_id, rng.randint(1, 3),
+                            now=now)
+            elif op == "release":
+                rm.release_job(job, now=now)
+            elif op == "loan":
+                rm.loan_servers(rng.randint(1, 2), now=now)
+            elif op == "return":
+                rm.return_server(server.server_id, now=now)
+            elif op == "fail":
+                report = rm.fail_node(server.server_id, now=now)
+                for job_id in report.jobs_lost_base:
+                    rm.release_job(jobs[job_id], now=now)
+                    jobs[job_id].clear_placement()
+            elif op == "recover":
+                rm.recover_node(server.server_id, now=now)
+            elif op == "direct_alloc":
+                server.allocate(job.job_id, rng.randint(1, 2))
+            elif op == "direct_release":
+                server.release(job.job_id)
+            elif op == "group":
+                # the explicit post-allocation group hook (placement path)
+                server.group = rng.choice([None, "base", "flex"])
+                view.note_group_change(server)
+            elif op == "degrade":
+                server.perf_factor = rng.choice([1.0, 0.5, 0.25])
+                view.note_server_attrs(server)
+        except (ValueError, RuntimeError, KeyError):
+            pass  # invalid op rejected — must leave the mirror intact
+        if per_step is not None:
+            per_step()
+
+
+# ----------------------------------------------------------------------
+# the column mirror stays delta-exact
+# ----------------------------------------------------------------------
+class TestArrayMirrorProperties:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_mirror_equals_rebuild_after_every_delta(self, seed):
+        rng = random.Random(seed)
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(3))
+        view = ArrayClusterView(pair.training)
+        rm = ResourceManager(pair)
+        jobs = _make_jobs()
+        view.jobs = jobs
+        # assert_consistent() compares every column against the live
+        # Server objects *and* runs the parent dict-index audit
+        _random_walk(view, rm, pair, jobs, rng,
+                     per_step=view.assert_consistent)
+        rebuilt = ArrayClusterView(
+            pair.training, jobs=jobs, attach=False,
+            default_onloan_cost=view.default_onloan_cost,
+        )
+        assert view.array_snapshot() == rebuilt.array_snapshot()
+        assert view.pools() == rebuilt.pools()
+        assert view.reclaim_cost_index() == rebuilt.reclaim_cost_index()
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_vectorized_queries_match_dict_view(self, seed):
+        """candidates()/domain_capacity() agree with the bucket walk."""
+        rng = random.Random(seed)
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(3))
+        arr = ArrayClusterView(pair.training)
+        rm = ResourceManager(pair)
+        jobs = _make_jobs()
+        arr.jobs = jobs
+        _random_walk(arr, rm, pair, jobs, rng)
+        # detached from-scratch reference (servers hold one _on_change
+        # slot, so a second *attached* view would steal the deltas)
+        ref = ClusterView(pair.training, jobs=jobs, attach=False)
+
+        def cost_for_type(tname):
+            return int(np.ceil(1 / arr.rel_compute(tname)))
+
+        for train_ok, loan_ok in ((True, True), (True, False), (False, True)):
+            def domain_ok(on_loan, _t=train_ok, _l=loan_ok):
+                return _l if on_loan else _t
+
+            got = arr.candidates(cost_for_type, domain_ok)
+            want = ref.candidates(cost_for_type, domain_ok)
+            assert (
+                {s.server_id for s in got} == {s.server_id for s in want}
+            )
+        for on_loan in (False, True):
+            assert arr.domain_capacity(on_loan, cost_for_type) == (
+                ref.domain_capacity(on_loan, cost_for_type)
+            )
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_select_best_is_head_of_sorted_candidates(self, seed):
+        """np.lexsort over the columns = head of the Python-sorted list."""
+        rng = random.Random(seed)
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(3))
+        view = ArrayClusterView(pair.training)
+        rm = ResourceManager(pair)
+        jobs = _make_jobs()
+        view.jobs = jobs
+        _random_walk(view, rm, pair, jobs, rng)
+        for flexible in (False, True):
+            for special, hetero, elastic in (
+                (True, False, True), (True, True, False),
+                (True, False, False), (False, False, True),
+            ):
+                got = view.select_best(
+                    gpus_per_worker=1, train_ok=True, loan_ok=True,
+                    type_lock=None, flexible=flexible,
+                    heterogeneous=hetero, elastic=elastic,
+                    special_grouping=special,
+                )
+
+                def pref(s):
+                    if not special:
+                        return 1 if s.on_loan else 0
+                    if hetero:
+                        if flexible:
+                            return 0 if s.on_loan else 1
+                        return 0 if not s.on_loan else 1
+                    if elastic:
+                        if s.on_loan:
+                            wanted = "flex" if flexible else "base"
+                            if s.group == wanted:
+                                return 0
+                            if s.group is None:
+                                return 1
+                            return 3
+                        return 2
+                    return 1 if s.on_loan else 0
+
+                eligible = [
+                    s for s in pair.training.servers
+                    if s.free_gpus >= int(
+                        np.ceil(1 / s.gpu_type.relative_compute)
+                    )
+                ]
+                want = min(
+                    eligible,
+                    key=lambda s: (pref(s), -s.perf_factor, s.idle,
+                                   s.free_gpus, s.server_id),
+                    default=None,
+                )
+                assert (got is None) == (want is None)
+                if got is not None:
+                    assert got.server_id == want.server_id
+
+
+# ----------------------------------------------------------------------
+# pickling: columns are derived state, rebuilt lazily after restore
+# ----------------------------------------------------------------------
+def test_pickle_roundtrip_rebuilds_columns():
+    pair = ClusterPair(make_training_cluster(3), make_inference_cluster(3))
+    view = ArrayClusterView(pair.training)
+    jobs = _make_jobs()
+    view.jobs = jobs
+    pair.training.servers[0].allocate(0, 2)
+    clone = pickle.loads(pickle.dumps(view))
+    assert clone._arrays_ready is False
+    # deltas arriving before the first query must not explode
+    clone.cluster.servers[1].allocate(1, 1)
+    clone.server_changed(clone.cluster.servers[1])
+    # first query triggers the lazy rebuild; the mirror is then exact
+    best = clone.select_best(
+        gpus_per_worker=1, train_ok=True, loan_ok=True, type_lock=None,
+        flexible=False, heterogeneous=False, elastic=True,
+        special_grouping=True,
+    )
+    assert best is not None
+    assert clone._arrays_ready is True
+    clone.assert_consistent()
+
+
+def test_recovery_roundtrip_under_array_backend(tmp_path):
+    """Kill-anywhere restart equivalence holds with view_backend="array":
+    the recovered run reproduces the continuous run's golden digest and
+    comes back up on a consistent array view."""
+    reference = run_scenario("lyra_loaning", backend="array")
+    sim = build_sim("lyra_loaning", backend="array")
+    manager = RecoveryManager(
+        tmp_path,
+        checkpoint_every=CHECKPOINT_EVERY,
+        crash=CrashInjector([CrashPoint(KILL_AT, BARRIER_BETWEEN_EVENTS)]),
+    )
+    manager.attach(sim)
+    with pytest.raises(SimulatedCrash):
+        sim.run()
+    assert manager.checkpoints > 0
+    del sim
+
+    recovered = RecoveryManager.recover(tmp_path)
+    recovered.resume()
+    assert digest(recovered.activities) == digest(reference.activities)
+    assert isinstance(recovered.view, ArrayClusterView)
+    assert recovered.view.backend == "array"
+    recovered.view.assert_consistent()
+
+
+# ----------------------------------------------------------------------
+# the vectorized MCKP kernel is bit-exact
+# ----------------------------------------------------------------------
+@st.composite
+def mckp_instances(draw):
+    num_groups = draw(st.integers(0, 4))
+    groups = []
+    for _ in range(num_groups):
+        items = [
+            Item(
+                weight=draw(st.integers(0, 6)),
+                value=float(draw(st.integers(-2, 20))) / 2.0,
+            )
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        groups.append(items)
+    capacity = draw(st.integers(0, 12))
+    return groups, capacity
+
+
+class TestMCKPKernels:
+    @given(inst=mckp_instances())
+    @settings(max_examples=200, deadline=None)
+    def test_numpy_dp_bit_equals_scalar_dp(self, inst):
+        groups, capacity = inst
+        v_np, c_np = solve_mckp(groups, capacity, use_numpy=True)
+        v_py, c_py = solve_mckp(groups, capacity, use_numpy=False)
+        assert v_np == v_py  # bit-equal floats, not approx
+        assert c_np == c_py  # identical item choices, group by group
+        _, weight = solution_cost(c_np)
+        assert weight <= capacity
+
+    @given(inst=mckp_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_numpy_dp_matches_bruteforce_optimum(self, inst):
+        groups, capacity = inst
+        v_np, _ = solve_mckp(groups, capacity, use_numpy=True)
+        v_bf, _ = solve_mckp_bruteforce(groups, capacity)
+        assert v_np == pytest.approx(v_bf)
+
+
+# ----------------------------------------------------------------------
+# the batched reclaim index keeps its scalar presentation
+# ----------------------------------------------------------------------
+class TestReclaimIndex:
+    def _placed(self):
+        pair = ClusterPair(make_training_cluster(3), make_inference_cluster(2))
+        rm = ResourceManager(pair)
+        jobs = _make_jobs(3)
+        now = 0.0
+        rng = random.Random(11)
+        for job in jobs.values():
+            for _ in range(2):
+                server = rng.choice(pair.training.servers)
+                try:
+                    rm.launch(job, server, 1, 1, flexible=False, now=now)
+                except (ValueError, RuntimeError):
+                    pass
+        return pair, jobs
+
+    @pytest.mark.parametrize("model", list(CostModel))
+    def test_matrix_agrees_with_index(self, model):
+        pair, jobs = self._placed()
+        index = preemption_cost_index(pair.training.servers, jobs, model)
+        ids, costs = preemption_cost_matrix(pair.training.servers, jobs, model)
+        assert ids == [s.server_id for s in pair.training.servers]
+        for sid, cost in zip(ids, costs):
+            assert float(index[sid]) == float(cost)
+
+    def test_empty_server_cost_is_the_int_zero(self):
+        """The historical ``sum([])`` returned the int 0; its repr (``0``,
+        not ``0.0``) leaks into logged plan-cost details, so the batched
+        index must preserve it exactly."""
+        pair = ClusterPair(make_training_cluster(2), make_inference_cluster(1))
+        index = preemption_cost_index(pair.training.servers, {})
+        for cost in index.values():
+            assert cost == 0
+            assert isinstance(cost, int)

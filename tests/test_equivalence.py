@@ -1,22 +1,30 @@
-"""Equivalence: incremental-view mode vs the legacy full-scan path.
+"""Equivalence: every view backend vs the legacy full-scan path.
 
-The ClusterView refactor must be an *observationally invisible*
-optimisation: every seeded scenario — one per scheduler family, plus
+The ClusterView refactors must be *observationally invisible*
+optimisations: every seeded scenario — one per scheduler family, plus
 orchestrated loaning/reclaiming and node-failure runs — must produce a
-byte-identical Activity log whether the simulator maintains the
-incremental view (``incremental_view=True``, the default) or recomputes
-everything from scratch each epoch (``incremental_view=False``, the
-pre-refactor behaviour, kept as the reference implementation).
+byte-identical Activity log under all three view backends:
+
+- ``legacy``       recompute everything from scratch each epoch (the
+                   pre-refactor behaviour, kept as the reference),
+- ``incremental``  delta-maintained :class:`ClusterView`,
+- ``array``        the structure-of-arrays mirror
+                   (:class:`repro.core.arrays.ArrayClusterView`) plus the
+                   vectorized placement/admission/MCKP fast paths.
 
 A golden-log fixture (``tests/data/golden_logs.json``, digests generated
-from the legacy path) additionally pins both modes against silent drift
-across future changes: regenerate it with
+from the legacy path) additionally pins all backends against silent
+drift across future changes: regenerate it with
 ``python -m tests.test_equivalence`` only when a PR *intends* to change
 scheduling behaviour.
+
+Set ``REPRO_EQUIV_BACKENDS`` (comma-separated) to restrict the matrix —
+the CI golden-equivalence job runs one backend per matrix entry.
 """
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -42,6 +50,18 @@ from repro.traces.inference import generate_inference_trace
 from repro.traces.workload import TraceConfig, generate_workload
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_logs.json"
+
+#: Every view backend that must reproduce the golden logs.
+ALL_BACKENDS = ("legacy", "incremental", "array")
+
+#: The subset exercised by this run (CI matrixes over single backends).
+BACKENDS = tuple(
+    b.strip()
+    for b in os.environ.get(
+        "REPRO_EQUIV_BACKENDS", ",".join(ALL_BACKENDS)
+    ).split(",")
+    if b.strip()
+)
 
 #: name -> (policy factory, simulation kwargs)
 SCENARIOS = {
@@ -71,7 +91,20 @@ SCENARIOS = {
 }
 
 
-def run_scenario(name: str, incremental: bool, obs=None) -> Simulation:
+def run_scenario(
+    name: str,
+    incremental: bool = None,
+    obs=None,
+    backend: str = None,
+) -> Simulation:
+    """Run one golden scenario under a specific view backend.
+
+    ``backend`` names the view implementation ("legacy", "incremental"
+    or "array"); the older ``incremental`` boolean is kept for callers
+    predating the array backend and maps onto legacy/incremental.
+    """
+    if backend is None:
+        backend = "legacy" if incremental is False else "incremental"
     policy_fn, opts = SCENARIOS[name]
     specs = generate_workload(
         TraceConfig(
@@ -91,7 +124,7 @@ def run_scenario(name: str, incremental: bool, obs=None) -> Simulation:
     )
     config = SimulationConfig(
         record_activities=True,
-        incremental_view=incremental,
+        view_backend=backend,
         elastic=opts.get("elastic", True),
         node_mtbf=opts.get("node_mtbf"),
         drain_limit=opts.get("drain_days", 30.0) * DAY,
@@ -125,28 +158,30 @@ def golden():
         return json.load(fh)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_modes_produce_identical_logs(name, golden):
-    legacy = run_scenario(name, incremental=False)
-    fast = run_scenario(name, incremental=True)
-    assert legacy.activities == fast.activities
-    d = digest(fast.activities)
-    assert d == digest(legacy.activities)
+def test_backends_produce_identical_logs(name, backend, golden):
+    sim = run_scenario(name, backend=backend)
+    d = digest(sim.activities)
     entry = golden[name]
-    assert len(fast.activities) == entry["events"]
-    assert d == entry["sha256"], (
-        f"scenario {name!r} drifted from the committed golden log; if the "
-        f"behaviour change is intentional, regenerate the fixture with "
-        f"`python -m tests.test_equivalence`"
+    assert len(sim.activities) == entry["events"], (
+        f"backend {backend!r}, scenario {name!r}: event count drifted"
     )
-    # the fast mode must actually be exercising its machinery
-    assert fast.view is not None
-    fast.view.assert_consistent()
-    # ... and both modes must be running through the decision-plan core:
-    # the byte-identical logs above pin plan-mode ≡ legacy-mode behaviour
-    assert fast.executor.plans_applied > 0
-    assert legacy.executor.plans_applied > 0
-    assert fast.executor.plans_rejected == 0
+    assert d == entry["sha256"], (
+        f"backend {backend!r}, scenario {name!r} drifted from the "
+        f"committed golden log; if the behaviour change is intentional, "
+        f"regenerate the fixture with `python -m tests.test_equivalence`"
+    )
+    # every backend must be running through the decision-plan core: the
+    # byte-identical logs above pin each backend ≡ the legacy reference
+    assert sim.executor.plans_applied > 0
+    assert sim.executor.plans_rejected == 0
+    if backend == "legacy":
+        return
+    # the fast modes must actually be exercising their machinery
+    assert sim.view is not None
+    assert getattr(sim.view, "backend", "incremental") == backend
+    sim.view.assert_consistent()
 
 
 def test_tracing_does_not_perturb_the_golden_log(golden):

@@ -60,7 +60,7 @@ KILL_AT = 30000.0
 CHECKPOINT_EVERY = 3000.0
 
 
-def build_sim(name: str) -> Simulation:
+def build_sim(name: str, backend: str = "incremental") -> Simulation:
     """The golden-suite scenario ``name``, built but not run."""
     policy_fn, opts = SCENARIOS[name]
     specs = generate_workload(
@@ -81,7 +81,7 @@ def build_sim(name: str) -> Simulation:
     )
     config = SimulationConfig(
         record_activities=True,
-        incremental_view=True,
+        view_backend=backend,
         elastic=opts.get("elastic", True),
         node_mtbf=opts.get("node_mtbf"),
         drain_limit=opts.get("drain_days", 30.0) * DAY,
