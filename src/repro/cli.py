@@ -7,6 +7,11 @@ Commands:
   ``--faults PLAN`` injects a fault plan, ``--node-mtbf``/
   ``--node-repair-time``/``--failure-seed`` drive the legacy Poisson
   node-failure knobs).
+* ``serve``    — run the same scheduling kernel as a wall-clock asyncio
+  daemon: jobs arrive over a JSONL TCP API (submit/query/cancel/scale,
+  streaming event feed), requests batch into scheduling epochs, and
+  ``--state-dir`` adds journal+snapshot+WAL durability so a killed
+  daemon restarts without losing an acked job (see docs/SERVING.md).
 * ``chaos``    — run one scheme under a named or file-based fault plan
   and print the resilience snapshot (goodput, lost GPU-hours by cause,
   time-to-recover).  Seeded: identical arguments give byte-identical
@@ -233,7 +238,45 @@ def _print_recovery_summary(sim) -> None:
           + (f"   wal appended {wal.appended}" if wal is not None else ""))
 
 
+def _run_interruptible(sim):
+    """Run the simulation, stopping gracefully on SIGINT/SIGTERM.
+
+    The first signal stops the engine at the next event boundary — the
+    run returns normally with whatever completed, so the caller still
+    writes traces and artifacts (atomically, via :mod:`repro.ioutil`)
+    instead of dying with a traceback and half a file.  A second signal
+    falls back to the default behavior.
+
+    Returns ``(metrics, signum)`` where ``signum`` is None for an
+    uninterrupted run.
+    """
+    import signal
+
+    caught: dict = {}
+
+    def _stop(signum, frame):
+        if caught:
+            raise KeyboardInterrupt
+        caught["signum"] = signum
+        sim.engine.stop()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _stop)
+        except ValueError:  # not the main thread (embedded use)
+            pass
+    try:
+        metrics = sim.run()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return metrics, caught.get("signum")
+
+
 def cmd_run(args) -> int:
+    import signal
+
     from repro.faults.crash import SimulatedCrash
 
     if args.resume:
@@ -270,7 +313,7 @@ def cmd_run(args) -> int:
               "nothing to recover from)", file=sys.stderr)
         return 2
     try:
-        metrics = sim.run()
+        metrics, interrupted = _run_interruptible(sim)
     except SimulatedCrash as exc:
         print(f"simulated crash: {exc}; recover with "
               f"`repro recover {args.checkpoint_dir}`", file=sys.stderr)
@@ -306,7 +349,99 @@ def cmd_run(args) -> int:
         _write_activities(sim, args.activities_out)
     if sim.recovery is not None and not args.json:
         _print_recovery_summary(sim)
+    if interrupted is not None:
+        name = signal.Signals(interrupted).name
+        print(f"interrupted ({name}) at t={sim.now:,.0f}; partial "
+              f"artifacts written", file=sys.stderr)
+        return 128 + interrupted
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the scheduling kernel as a wall-clock daemon.
+
+    Same kernel, same policies, same durability machinery as ``run`` —
+    just driven by real time (:class:`repro.serve.WallClockDriver`)
+    instead of the simulated-event engine, with jobs arriving over a
+    JSONL TCP API instead of from a generated trace.
+    """
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.cluster.cluster import (
+        ClusterPair,
+        make_inference_cluster,
+        make_training_cluster,
+    )
+    from repro.scenarios import make_policy
+    from repro.serve import SchedulerService
+    from repro.simulator.simulation import SimulationConfig
+
+    pair = ClusterPair(
+        make_training_cluster(args.training_servers),
+        make_inference_cluster(args.inference_servers),
+    )
+    config = SimulationConfig(
+        scheduler_interval=args.epoch_interval,
+        view_backend=args.view_backend,
+    )
+    obs = Observability.enabled() if args.trace else Observability.disabled()
+    service = SchedulerService(
+        pair,
+        make_policy(args.scheme, seed=args.seed),
+        config,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        time_scale=args.time_scale,
+        state_dir=args.state_dir,
+        snapshot_every_epochs=args.snapshot_every,
+        obs=obs,
+    )
+
+    async def _serve() -> int:
+        await service.start()
+        print(f"repro serve: {args.scheme} listening on "
+              f"{service.host}:{service.port} "
+              f"(time_scale={args.time_scale:g}"
+              + (f", state={args.state_dir}" if args.state_dir else "")
+              + ")", flush=True)
+        if service.recovered_jobs or service.replayed_requests:
+            print(f"repro serve: recovered {service.recovered_jobs} job(s) "
+                  f"from snapshot, replayed {service.replayed_requests} "
+                  f"journaled request(s)", flush=True)
+        loop = asyncio.get_running_loop()
+        received: set = set()
+
+        def _on_signal(signum):
+            received.add(signum)
+            service.shutdown_requested.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, _on_signal, sig)
+        server_task = asyncio.ensure_future(service.serve_forever())
+        await service.shutdown_requested.wait()
+        # SIGTERM is the orderly way down: stop admission, let the
+        # cluster empty, then snapshot.  SIGINT (and the shutdown op)
+        # stop immediately — the final snapshot plus the request
+        # journal make the stop lossless either way.
+        if signal.SIGTERM in received and args.drain_timeout > 0:
+            print("repro serve: draining ...", flush=True)
+            drained = await service.drain(timeout=args.drain_timeout)
+            print("repro serve: drain "
+                  + ("complete" if drained else "timed out"), flush=True)
+        await service.stop()
+        server_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await server_task
+        if args.trace:
+            records = obs.export_trace(args.trace, format="jsonl")
+            print(f"wrote {records} trace records to {args.trace}",
+                  flush=True)
+        return 0
+
+    return asyncio.run(_serve())
 
 
 def _attach_recovery(sim, args):
@@ -991,6 +1126,57 @@ def build_parser() -> argparse.ArgumentParser:
                            help="how many worst-preempted jobs to list")
     _add_log_arg(inspect_p)
     inspect_p.set_defaults(func=cmd_inspect)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the scheduler as a wall-clock daemon (JSONL TCP API)",
+    )
+    serve_p.add_argument("--scheme", default="lyra", choices=sorted(SCHEMES))
+    serve_p.add_argument("--training-servers", type=int, default=24)
+    serve_p.add_argument("--inference-servers", type=int, default=30)
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7463,
+                         help="TCP port to listen on (0 picks a free "
+                              "port, printed on startup)")
+    serve_p.add_argument("--epoch-interval", type=float, default=0.2,
+                         metavar="SECONDS",
+                         help="scheduling-epoch batching window in kernel "
+                              "seconds; requests landing within one "
+                              "window are planned in one epoch (wall "
+                              "window = this / --time-scale)")
+    serve_p.add_argument("--time-scale", type=float, default=1.0,
+                         help="kernel seconds per wall second; 60 runs "
+                              "a day of kernel time in 24 minutes "
+                              "(demos, load tests)")
+    serve_p.add_argument("--max-pending", type=int, default=10_000,
+                         help="admission control: submits beyond this "
+                              "many pending jobs are rejected with "
+                              "queue_full")
+    serve_p.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="durable state directory (request journal, "
+                              "kernel snapshots, plan WAL); restarting "
+                              "on the same directory recovers every "
+                              "acked job")
+    serve_p.add_argument("--snapshot-every", type=int, default=1,
+                         metavar="EPOCHS",
+                         help="snapshot the kernel every N scheduling "
+                              "epochs (with --state-dir)")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="on SIGTERM, stop admission and wait up to "
+                              "this long for the cluster to empty before "
+                              "the final snapshot (0 skips the drain)")
+    serve_p.add_argument(
+        "--view-backend", default=None,
+        choices=["legacy", "incremental", "array"],
+        help="scheduling-view implementation (same choices as run)",
+    )
+    serve_p.add_argument("--trace",
+                         help="export a structured event trace here on "
+                              "shutdown")
+    _add_log_arg(serve_p)
+    serve_p.set_defaults(func=cmd_serve)
 
     paper_p = sub.add_parser("paper", help="show the paper's numbers")
     paper_p.add_argument("table", help="table5|table7|table8|table9|"

@@ -93,6 +93,9 @@ def capture_payload(sim) -> Dict[str, Any]:
     detach(sim, "recovery")
     detach(sim.executor, "wal")
     detach(sim.executor, "crash_probe")
+    # live event feeds (the serving daemon's subscriber fan-out) are
+    # process-local closures, re-attached by the daemon on restore
+    detach(sim, "activity_sink")
     # the profiler clock is a closure over the engine; re-bound on restore
     detach(sim.obs.phases, "clock")
     # conformance probes are harness-side observers, not run state

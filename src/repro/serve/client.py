@@ -1,0 +1,119 @@
+"""Asyncio client for the serving API.
+
+One :class:`ServeClient` wraps one TCP connection, serializing requests
+on it (open several clients to pipeline — each connection's requests
+are answered in order, so N connections give N in-flight requests).
+The event feed uses a dedicated connection (:meth:`subscribe`) because
+a subscribed connection stops answering requests.
+
+Used by ``repro serve-cli`` style tooling, the serve tests, and the
+load-generator benchmark; it is also the reference implementation for
+anyone writing a client in another language.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Optional
+
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok: false``; ``code`` is the stable error."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServeClient:
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def request(self, op: str, **fields) -> dict:
+        """One round-trip; raises :class:`ServeError` on ``ok: false``."""
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._writer.write(
+                protocol.encode({"op": op, "id": request_id, **fields})
+            )
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        response = protocol.decode_line(line)
+        if not response.get("ok"):
+            raise ServeError(
+                response.get("error", "unknown"),
+                response.get("message", ""),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (one per API op)
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def submit(self, **spec_fields) -> int:
+        """Submit one job; returns its daemon-assigned job id."""
+        response = await self.request("submit", spec=spec_fields)
+        return response["job_id"]
+
+    async def query(self, job_id: Optional[int] = None) -> dict:
+        if job_id is None:
+            return await self.request("query")
+        return await self.request("query", job_id=job_id)
+
+    async def cancel(self, job_id: int) -> bool:
+        response = await self.request("cancel", job_id=job_id)
+        return response["cancelled"]
+
+    async def scale(self, job_id: int, workers: int) -> dict:
+        return await self.request("scale", job_id=job_id, workers=workers)
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        response = await self.request("drain", timeout=timeout)
+        return response["drained"]
+
+    async def shutdown(self) -> None:
+        await self.request("shutdown")
+
+    async def subscribe(self) -> AsyncIterator[dict]:
+        """Turn this connection into an event stream (no more requests
+        on it afterwards); yields event dicts until the daemon closes."""
+        self._writer.write(protocol.encode({"op": "subscribe"}))
+        await self._writer.drain()
+        ack = protocol.decode_line(await self._reader.readline())
+        if not ack.get("ok"):
+            raise ServeError(ack.get("error", "unknown"), ack.get("message", ""))
+
+        async def events():
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    return
+                yield protocol.decode_line(line)
+
+        return events()

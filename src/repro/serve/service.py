@@ -1,0 +1,530 @@
+"""The scheduler daemon: an asyncio front-end over the kernel.
+
+One :class:`SchedulerService` hosts one
+:class:`~repro.core.kernel.SchedulerKernel` on a
+:class:`~repro.serve.driver.WallClockDriver` and serves the JSONL TCP
+API (:mod:`repro.serve.protocol`).  Design points:
+
+* **Epoch batching** — submits do not schedule individually; every
+  state-changing request calls the kernel's ``trigger_schedule``, which
+  coalesces all triggers landing within ``config.scheduler_interval``
+  into one scheduling epoch.  Under a burst, one epoch plans the whole
+  batch — the same batching the paper's scheduler applies to arrival
+  storms.
+* **Admission control** — a submit that would push the pending queue
+  past ``max_pending`` is rejected with ``queue_full`` *before* any
+  state changes (and before journaling), so an overloaded daemon sheds
+  load at the door instead of collapsing; rejections are counted in
+  ``serve.rejected``.
+* **Event feed** — ``subscribe`` turns a connection into a stream of
+  kernel activities.  Fan-out is through bounded per-subscriber queues;
+  a slow subscriber loses oldest events (counted, never blocking the
+  scheduling path).
+* **Durability** — with a state directory, every acked mutation is
+  journaled before the ack, the kernel snapshots at epoch boundaries,
+  and the plan executor writes a per-generation WAL
+  (:mod:`repro.serve.state`).  A daemon restarted on the same directory
+  recovers every acked job.
+* **Graceful drain** — ``drain`` (or SIGTERM via the CLI) stops
+  admission and resolves once the queue and the cluster are empty.
+
+The service is single-loop: request handlers and kernel timers
+interleave on one asyncio loop, so kernel state needs no locking —
+exactly the simulator's single-threaded discipline, with the event loop
+as the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import ClusterPair
+from repro.cluster.job import JobStatus
+from repro.core.kernel import SchedulerKernel, SimulationConfig
+from repro.obs import Observability, get_logger
+from repro.serve import protocol
+from repro.serve.driver import WallClockDriver
+from repro.serve.state import ServeState
+from repro.simulator.events import EventKind
+
+logger = get_logger("serve")
+
+#: per-subscriber event buffer; beyond this, oldest events are dropped
+SUBSCRIBER_QUEUE = 4096
+
+#: how the service waits for drain/idle without polling the kernel
+_DRAIN_POLL_S = 0.05
+
+
+class SchedulerService:
+    """One daemon instance: kernel + driver + TCP API + durability."""
+
+    def __init__(
+        self,
+        pair: ClusterPair,
+        policy,
+        config: Optional[SimulationConfig] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 10_000,
+        time_scale: float = 1.0,
+        state_dir=None,
+        snapshot_every_epochs: int = 1,
+        obs: Optional[Observability] = None,
+        orchestrator=None,
+    ):
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._config = config if config is not None else SimulationConfig()
+        self._pair = pair
+        self._policy = policy
+        self._orchestrator = orchestrator
+        self._time_scale = time_scale
+        self.state = ServeState(state_dir) if state_dir is not None else None
+        self.snapshot_every_epochs = max(1, snapshot_every_epochs)
+
+        self.kernel: Optional[SchedulerKernel] = None
+        self.driver: Optional[WallClockDriver] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._next_job_id = 0
+        #: wall-clock submit instants, for submit→scheduled latency
+        self._submit_walls: Dict[int, float] = {}
+        self._subscribers: List[asyncio.Queue] = []
+        self.draining = False
+        self._drained = asyncio.Event()
+        #: set by the ``shutdown`` op; the CLI run loop awaits it
+        self.shutdown_requested = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epochs = 0
+        self._epochs_since_snapshot = 0
+        self.recovered_jobs = 0
+        self.replayed_requests = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Build (or recover) the kernel and start accepting requests."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        restored = self.state.load_kernel() if self.state else None
+        if restored is not None:
+            kernel, request_seq = restored
+            self.kernel = kernel
+            self.driver = kernel.driver
+            if not isinstance(self.driver, WallClockDriver):
+                # a simulator snapshot or a hand-built kernel: give it a
+                # wall-clock driver resuming at the snapshot instant
+                self.driver = WallClockDriver(
+                    time_scale=self._time_scale, start_at=kernel.now
+                )
+                kernel.driver = self.driver
+            # this process's time_scale wins over the snapshot's
+            self.driver.time_scale = self._time_scale
+            self.driver.bind(loop)
+            self.kernel.recovery = None
+            self.recovered_jobs = len(kernel.pending) + len(kernel.running)
+            self._rearm_restored_kernel()
+            self._replay_requests(request_seq)
+            logger.info(
+                "recovered kernel at t=%.1f: %d pending, %d running, "
+                "%d journaled requests replayed",
+                kernel.now, len(kernel.pending), len(kernel.running),
+                self.replayed_requests,
+            )
+        else:
+            self.driver = WallClockDriver(time_scale=self._time_scale)
+            self.driver.bind(loop)
+            self.kernel = SchedulerKernel(
+                [],
+                self._pair,
+                self._policy,
+                orchestrator=self._orchestrator,
+                config=self._config,
+                obs=self.obs,
+                driver=self.driver,
+            )
+        self._next_job_id = (max(self.kernel.jobs) + 1) if self.kernel.jobs else 0
+        self.driver.on_epoch_finished = self._on_epoch_finished
+        self.kernel.activity_sink = self._on_activity
+        if self.state is not None:
+            self.kernel.executor.wal = self.state.wal
+        if self._orchestrator is not None:
+            self.driver.schedule_after(
+                self.kernel.config.orchestrator_interval,
+                self._orchestrator_tick,
+                tag=("orch",),
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on %s:%d", self.host, self.port)
+
+    def _rearm_restored_kernel(self) -> None:
+        """Wall-clock timers died with the old process: re-arm them.
+
+        Completion re-arming bumps each job's completion epoch, so any
+        notion of the old timers is superseded; a fresh scheduling epoch
+        picks up whatever was pending.
+        """
+        for job in list(self.kernel.running.values()):
+            self.kernel._reschedule_completion(job)
+        if self.kernel.pending:
+            self.kernel.trigger_schedule()
+
+    def _replay_requests(self, from_seq: int) -> None:
+        """Re-apply journaled requests the snapshot does not cover."""
+        assert self.state is not None
+        for entry in self.state.journal.entries_after(from_seq):
+            op = entry.get("op")
+            try:
+                if op == "submit":
+                    spec = protocol.spec_from_dict(entry["spec"])
+                    if spec.job_id not in self.kernel.jobs:
+                        job = self.kernel.register_job(spec)
+                        self.kernel.admit_job(job)
+                elif op == "cancel":
+                    self.kernel.cancel_job(
+                        entry["job_id"], cause=entry.get("cause", "user")
+                    )
+                elif op == "scale":
+                    self._apply_scale(entry["job_id"], entry["workers"])
+            except Exception:
+                # a request that was applicable pre-kill may no longer
+                # be (job finished in the snapshot, say); replay is
+                # best-effort per entry, never fatal to recovery
+                logger.exception("replaying journal entry %s failed", entry)
+            self.replayed_requests += 1
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, *, final_snapshot: bool = True) -> None:
+        """Graceful shutdown: stop accepting, snapshot, close feeds."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.state is not None and final_snapshot and self.kernel is not None:
+            self.state.snapshot(self.kernel)
+        for queue in list(self._subscribers):
+            queue.put_nowait(None)  # sentinel: stream over
+        if self.state is not None:
+            self.state.close()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission; resolve once no pending or running work
+        remains.  Returns False on timeout (daemon keeps draining)."""
+        self.draining = True
+        self._maybe_mark_drained()
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # ------------------------------------------------------------------
+    # kernel hooks
+    # ------------------------------------------------------------------
+    def _on_epoch_finished(self) -> None:
+        self._epochs += 1
+        self._epochs_since_snapshot += 1
+        if (
+            self.state is not None
+            and self._epochs_since_snapshot >= self.snapshot_every_epochs
+        ):
+            self.state.snapshot(self.kernel)
+            self._epochs_since_snapshot = 0
+        self._maybe_mark_drained()
+
+    def _maybe_mark_drained(self) -> None:
+        if (
+            self.draining
+            and not self.kernel.pending
+            and not self.kernel.running
+        ):
+            self._drained.set()
+
+    def _on_activity(self, activity, trace_args) -> None:
+        """Kernel activity sink: latency accounting + subscriber fan-out."""
+        if activity.kind is EventKind.START:
+            wall = self._submit_walls.pop(activity.job_id, None)
+            if wall is not None:
+                self.obs.registry.histogram(
+                    "serve.submit_to_scheduled_s"
+                ).observe(self._loop.time() - wall)
+        if activity.kind is EventKind.FINISH:
+            self._maybe_mark_drained()
+        if not self._subscribers:
+            return
+        event = {
+            "ts": activity.time,
+            "kind": activity.kind.value,
+            "job_id": activity.job_id,
+            "detail": activity.detail,
+        }
+        if trace_args:
+            event.update(trace_args)
+        for queue in self._subscribers:
+            if queue.full():
+                try:
+                    queue.get_nowait()  # drop oldest, never block
+                except asyncio.QueueEmpty:
+                    pass
+                self.obs.registry.counter("serve.events_dropped").inc()
+            queue.put_nowait(event)
+
+    def _orchestrator_tick(self) -> None:
+        self.kernel.run_orchestrator_epoch()
+        self.driver.schedule_after(
+            self.kernel.config.orchestrator_interval,
+            self._orchestrator_tick,
+            tag=("orch",),
+        )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    ConnectionResetError,
+                    asyncio.IncompleteReadError,
+                    asyncio.CancelledError,
+                ):
+                    break
+                if not line:
+                    break
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    writer.write(protocol.encode(
+                        protocol.err(None, "frame_too_large")
+                    ))
+                    break
+                try:
+                    request = protocol.decode_line(line)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.encode(
+                        protocol.err(None, "bad_request", str(exc))
+                    ))
+                    await writer.drain()
+                    continue
+                request_id = request.get("id")
+                op = request.get("op")
+                if op == "subscribe":
+                    await self._stream_events(request_id, writer)
+                    break
+                if op == "drain":
+                    done = await self.drain(request.get("timeout"))
+                    response = protocol.ok(
+                        request_id, drained=done, draining=True
+                    )
+                elif op == "shutdown":
+                    self.shutdown_requested.set()
+                    response = protocol.ok(request_id, shutting_down=True)
+                else:
+                    response = self._dispatch(op, request_id, request)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, op, request_id, request) -> dict:
+        self.obs.registry.counter("serve.requests", op=str(op)).inc()
+        try:
+            if op == "ping":
+                return protocol.ok(
+                    request_id, now=self.kernel.now, draining=self.draining
+                )
+            if op == "submit":
+                return self._op_submit(request_id, request)
+            if op == "query":
+                return self._op_query(request_id, request)
+            if op == "cancel":
+                return self._op_cancel(request_id, request)
+            if op == "scale":
+                return self._op_scale(request_id, request)
+            if op == "stats":
+                return self._op_stats(request_id)
+            return protocol.err(request_id, "unknown_op", f"no op {op!r}")
+        except protocol.ProtocolError as exc:
+            return protocol.err(request_id, "bad_request", str(exc))
+        except Exception as exc:  # one bad request must not kill the daemon
+            logger.exception("op %r failed", op)
+            self.obs.registry.counter("serve.op_errors", op=str(op)).inc()
+            return protocol.err(request_id, "internal", str(exc))
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _op_submit(self, request_id, request) -> dict:
+        if self.draining:
+            return protocol.err(request_id, "draining")
+        if len(self.kernel.pending) >= self.max_pending:
+            self.obs.registry.counter("serve.rejected").inc()
+            return protocol.err(
+                request_id, "queue_full",
+                f"pending queue at max_pending={self.max_pending}",
+            )
+        fields = request.get("spec")
+        if not isinstance(fields, dict):
+            return protocol.err(request_id, "bad_request", "missing 'spec'")
+        job_id = self._next_job_id
+        spec = protocol.spec_from_request(fields, job_id, self.kernel.now)
+        self._next_job_id += 1
+        if self.state is not None:
+            self.state.journal.append(
+                "submit", spec=protocol.spec_to_dict(spec)
+            )
+        job = self.kernel.register_job(spec)
+        self._submit_walls[job_id] = self._loop.time()
+        self.kernel.admit_job(job)
+        return protocol.ok(request_id, job_id=job_id, submit_time=spec.submit_time)
+
+    def _op_query(self, request_id, request) -> dict:
+        job_id = request.get("job_id")
+        if job_id is None:
+            counts = {
+                "pending": len(self.kernel.pending),
+                "running": len(self.kernel.running),
+                "finished": sum(
+                    1 for j in self.kernel.jobs.values()
+                    if j.status is JobStatus.FINISHED
+                ),
+                "epochs": self._epochs,
+                "plans_applied": self.kernel.executor.plans_applied,
+                "now": self.kernel.now,
+                "draining": self.draining,
+            }
+            return protocol.ok(request_id, **counts)
+        job = self.kernel.jobs.get(job_id)
+        if job is None:
+            return protocol.err(request_id, "unknown_job", f"job {job_id}")
+        return protocol.ok(
+            request_id,
+            job_id=job_id,
+            status=job.status.name.lower(),
+            workers=job.total_workers,
+            remaining_work=job.remaining_work,
+            submit_time=job.spec.submit_time,
+            start_time=job.first_start_time,
+            finish_time=job.finish_time,
+        )
+
+    def _op_cancel(self, request_id, request) -> dict:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, int):
+            return protocol.err(request_id, "bad_request", "missing job_id")
+        if self.state is not None:
+            self.state.journal.append("cancel", job_id=job_id)
+        cancelled = self.kernel.cancel_job(job_id)
+        self._submit_walls.pop(job_id, None)
+        self._maybe_mark_drained()
+        return protocol.ok(request_id, job_id=job_id, cancelled=cancelled)
+
+    def _op_scale(self, request_id, request) -> dict:
+        job_id = request.get("job_id")
+        workers = request.get("workers")
+        if not isinstance(job_id, int) or not isinstance(workers, int):
+            return protocol.err(
+                request_id, "bad_request", "scale needs job_id and workers"
+            )
+        if self.state is not None:
+            self.state.journal.append("scale", job_id=job_id, workers=workers)
+        try:
+            result = self._apply_scale(job_id, workers)
+        except KeyError:
+            return protocol.err(request_id, "unknown_job", f"job {job_id}")
+        except ValueError as exc:
+            return protocol.err(request_id, "bad_scale", str(exc))
+        return protocol.ok(request_id, job_id=job_id, **result)
+
+    def _apply_scale(self, job_id: int, workers: int) -> dict:
+        """Scale a running elastic job toward ``workers``.
+
+        Shrinking removes flexible workers immediately (never below the
+        base demand); growing is a *request* — the next epoch's policy
+        decides, exactly as it does for every other elastic job.
+        """
+        job = self.kernel.jobs[job_id]
+        if job_id not in self.kernel.running:
+            raise ValueError("job is not running")
+        if not job.elastic:
+            raise ValueError("job is not elastic")
+        if workers < job.spec.min_workers:
+            raise ValueError(
+                f"cannot scale below base demand {job.spec.min_workers}"
+            )
+        current = job.total_workers
+        if workers < current:
+            to_remove = current - workers
+            removals: Dict[str, int] = {}
+            for sid in sorted(job.flex_placement):
+                if to_remove == 0:
+                    break
+                take = min(job.flex_placement[sid], to_remove)
+                removals[sid] = take
+                to_remove -= take
+            if removals:
+                self.kernel.scale_in_worker_counts(job, removals)
+            return {"workers": job.total_workers, "applied": "scale_in"}
+        if workers > current:
+            # growth is the policy's call: record the wish, run an epoch
+            self.kernel.trigger_schedule()
+            return {"workers": current, "applied": "requested"}
+        return {"workers": current, "applied": "noop"}
+
+    def _op_stats(self, request_id) -> dict:
+        snap = self.obs.registry.snapshot()
+        return protocol.ok(
+            request_id,
+            now=self.kernel.now,
+            epochs=self._epochs,
+            epochs_skipped=self.kernel._epochs_skipped,
+            plans_applied=self.kernel.executor.plans_applied,
+            pending=len(self.kernel.pending),
+            running=len(self.kernel.running),
+            jobs=len(self.kernel.jobs),
+            draining=self.draining,
+            timers_armed=self.driver.timers_armed,
+            callback_errors=self.driver.callback_errors,
+            recovered_jobs=self.recovered_jobs,
+            replayed_requests=self.replayed_requests,
+            snapshots_written=(
+                self.state.snapshots_written if self.state else 0
+            ),
+            wal_appended=(self.state.wal.appended if self.state else 0),
+            metrics=snap,
+        )
+
+    # ------------------------------------------------------------------
+    # event streaming
+    # ------------------------------------------------------------------
+    async def _stream_events(self, request_id, writer) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_QUEUE)
+        self._subscribers.append(queue)
+        writer.write(protocol.encode(protocol.ok(request_id, subscribed=True)))
+        try:
+            await writer.drain()
+            while True:
+                event = await queue.get()
+                if event is None:  # shutdown sentinel
+                    break
+                writer.write(protocol.encode(event))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._subscribers.remove(queue)

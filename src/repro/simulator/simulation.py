@@ -6,6 +6,16 @@ policy decisions to a pluggable :class:`~repro.schedulers.base.SchedulerPolicy`
 and, when loaning is enabled, to a
 :class:`~repro.core.orchestrator.ResourceOrchestrator`.
 
+Since the kernel/driver split, :class:`Simulation` is the *simulated-time
+driver* for the clock-agnostic
+:class:`~repro.core.kernel.SchedulerKernel`: the epoch pipeline, job
+lifecycle, failure handling and all scheduling state live in the kernel
+base class; this module adds only what is specific to replaying a finite
+trace on the discrete-event :class:`~repro.simulator.engine.Engine` —
+the run loop, trace-driven arrivals, the heartbeat, the usage sampler,
+the orchestrator cadence, and the drain cutoff.  The wall-clock serving
+driver (:mod:`repro.serve`) hosts the same kernel against real time.
+
 Simulated mechanics (matching §7.1–7.2):
 
 * job events — arrival, start, completion, scaling, preemption — are all
@@ -23,351 +33,85 @@ Simulated mechanics (matching §7.1–7.2):
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Callable, Optional, Sequence
 
-from repro.cluster.cluster import Cluster, ClusterPair
-from repro.cluster.job import Job, JobSpec, JobStatus
-from repro.core.actions import PlanExecutor
-from repro.core.placement import PlacementEngine
-from repro.core.view import ClusterView
-from repro.elastic.throughput import get_scaling_model
-from repro.obs import Observability, get_logger
-from repro.obs.profiling import PHASE_SCHEDULER_TICK
-from repro.obs.provenance import (
-    MAX_TRIGGERS,
-    TRIGGER_ARRIVAL,
-    TRIGGER_COMPLETION,
-    TRIGGER_FAULT,
-    TRIGGER_FORECAST,
-    TRIGGER_HEARTBEAT,
-    TRIGGER_INTERVAL,
-    TRIGGER_NODE_FAILURE,
-    TRIGGER_NODE_RECOVERY,
-    TRIGGER_PREEMPT,
-    Provenance,
-    Trigger,
+from repro.cluster.cluster import ClusterPair
+from repro.cluster.job import Job, JobSpec
+from repro.core.kernel import (  # noqa: F401  (re-exports: long-standing API)
+    DAY,
+    SchedulerKernel,
+    SimulationConfig,
 )
-from repro.obs.tracer import CAT_JOB, CAT_ORCHESTRATOR, CAT_SCHEDULER
-from repro.profiler.profiler import JobProfiler
-from repro.rm.manager import ResourceManager
+from repro.obs import Observability, get_logger
+from repro.obs.provenance import (  # noqa: F401  (Provenance re-exported)
+    TRIGGER_HEARTBEAT,
+    Provenance,
+)
 from repro.simulator.engine import Engine
-from repro.simulator.events import Activity, EventKind
 from repro.simulator.metrics import SimulationMetrics
-from repro.traces.inference import InferenceTrace
-
-DAY = 86400.0
 
 logger = get_logger("simulator")
 
-#: Structured-trace (name, category) for each activity kind.
-_TRACE_NAMES = {
-    EventKind.SUBMIT: ("job.submit", CAT_JOB),
-    EventKind.START: ("job.start", CAT_JOB),
-    EventKind.FINISH: ("job.finish", CAT_JOB),
-    EventKind.PREEMPT: ("job.preempt", CAT_JOB),
-    EventKind.SCALE_OUT: ("job.scale_out", CAT_JOB),
-    EventKind.SCALE_IN: ("job.scale_in", CAT_JOB),
-    EventKind.LOAN: ("orchestrator.loan", CAT_ORCHESTRATOR),
-    EventKind.RECLAIM: ("orchestrator.reclaim", CAT_ORCHESTRATOR),
-    EventKind.SCHEDULE_EPOCH: ("scheduler.epoch", CAT_SCHEDULER),
-    EventKind.MIGRATE: ("job.migrate", CAT_JOB),
-}
 
-#: Relative tolerance for "the job is done" at a completion event.
-_WORK_EPS = 1e-6
+class Simulation(SchedulerKernel):
+    """One end-to-end replay of a trace under a scheduling policy.
 
-
-@dataclass
-class SimulationConfig:
-    """Simulation-wide knobs.
-
-    Attributes:
-        scheduler_interval: Minimum seconds between scheduling epochs;
-            epochs are additionally triggered by job/capacity events.
-        orchestrator_interval: Seconds between orchestrator ticks (§7.1:
-            five minutes).
-        preemption_overhead: Seconds of extra work charged per preemption
-            (§7.5: 63 s measured on the testbed).
-        sample_interval: Seconds between usage samples.
-        elastic: Master switch for elastic scaling.
-        drain_limit: Extra simulated seconds allowed after the last
-            arrival for the queue to drain before the run is cut off.
-        scaling_model: Throughput scaling model name applied to elastic
-            jobs ("linear" or "sublinear20", §7.2).
-        tuned_jobs: Lyra+TunedJobs mode — hyperparameter tuning recovers
-            scaling losses and adds a small throughput bonus whenever a
-            job runs above its base demand (§7.4).
+    A :class:`~repro.core.kernel.SchedulerKernel` that is its own
+    :class:`~repro.core.kernel.Driver`: time and timers come from the
+    discrete-event engine, and the kernel's epoch pipeline runs
+    unchanged on top.
     """
-
-    scheduler_interval: float = 30.0
-    orchestrator_interval: float = 300.0
-    preemption_overhead: float = 63.0
-    sample_interval: float = 300.0
-    elastic: bool = True
-    drain_limit: float = 30 * DAY
-    scaling_model: str = "linear"
-    tuned_jobs: bool = False
-    special_elastic_grouping: bool = True
-    record_activities: bool = False
-    #: use the §3 job profiler for runtime estimates instead of oracle
-    #: durations: estimates are learned online from completed jobs
-    use_profiler: bool = False
-    #: mean time between node failures across the training whitelist, in
-    #: seconds (None disables failure injection)
-    node_mtbf: Optional[float] = None
-    #: time a failed node spends unhealthy before rejoining
-    node_repair_time: float = 3600.0
-    failure_seed: int = 0
-    #: full chaos specification (:class:`repro.faults.plan.FaultPlan`);
-    #: supersedes the legacy ``node_mtbf`` knobs when set.  Typed loosely
-    #: so fault-free simulations never import :mod:`repro.faults`.
-    fault_plan: Optional[object] = None
-    #: maintain a delta-invalidated :class:`~repro.core.view.ClusterView`
-    #: and serve pools/candidates/queue order from it (False falls back
-    #: to the legacy full-scan path; decisions are identical either way)
-    incremental_view: bool = True
-    #: which scheduling-state backend serves the policy facades:
-    #: ``"legacy"`` (full scans, no view), ``"incremental"`` (the
-    #: dict-indexed ClusterView) or ``"array"`` (the numpy
-    #: structure-of-arrays mirror, :mod:`repro.core.arrays`).  ``None``
-    #: derives the backend from ``incremental_view`` for back-compat.
-    #: Decisions are byte-identical across all three (golden-pinned).
-    view_backend: Optional[str] = None
-    #: keep every applied non-empty :class:`~repro.core.actions.EpochPlan`
-    #: (as JSON dicts with pricing) in ``Simulation.plan_log`` — the
-    #: ``repro run --explain`` data source
-    record_plans: bool = False
-
-    def __post_init__(self) -> None:
-        if self.scheduler_interval <= 0:
-            raise ValueError("scheduler_interval must be positive")
-        if self.orchestrator_interval <= 0:
-            raise ValueError("orchestrator_interval must be positive")
-        if self.view_backend not in (None, "legacy", "incremental", "array"):
-            raise ValueError(
-                f"unknown view_backend {self.view_backend!r}; expected "
-                f"'legacy', 'incremental' or 'array'"
-            )
-
-    def resolved_view_backend(self) -> str:
-        """The effective backend name (``view_backend`` wins; else the
-        legacy ``incremental_view`` flag maps to incremental/legacy)."""
-        if self.view_backend is not None:
-            return self.view_backend
-        return "incremental" if self.incremental_view else "legacy"
-
-
-#: Throughput bonus hyperparameter tuning yields above base demand (§7.4).
-_TUNING_BONUS = 1.08
-
-
-class Simulation:
-    """One end-to-end replay of a trace under a scheduling policy."""
 
     def __init__(
         self,
         specs: Sequence[JobSpec],
         pair: ClusterPair,
         policy: "SchedulerPolicy",
-        inference_trace: Optional[InferenceTrace] = None,
+        inference_trace=None,
         orchestrator: Optional["ResourceOrchestrator"] = None,
         config: SimulationConfig = SimulationConfig(),
         obs: Optional[Observability] = None,
     ):
-        self.pair = pair
-        self.cluster: Cluster = pair.training
-        self.rm = ResourceManager(pair)
-        self.profiler = JobProfiler() if config.use_profiler else None
-        self.policy = policy
-        self.inference_trace = inference_trace
-        self.orchestrator = orchestrator
-        self.config = config
         self.engine = Engine()
-        self.obs = obs if obs is not None else Observability.disabled()
-        self.tracer = self.obs.tracer
+        super().__init__(
+            specs,
+            pair,
+            policy,
+            inference_trace=inference_trace,
+            orchestrator=orchestrator,
+            config=config,
+            obs=obs,
+        )
         # Promote profiler phases to spans on the simulated clock; a
         # no-op unless both the profiler and the tracer are enabled.
         self.obs.phases.bind(self.tracer, lambda: self.engine.now)
-        self.metrics = SimulationMetrics(registry=self.obs.registry)
-        self.activities: List[Activity] = []
-        #: epoch triggers awaiting the next plan's provenance record;
-        #: only ever populated while the tracer is enabled
-        self._pending_triggers: List[Trigger] = []
-        self._dropped_triggers = 0
-        #: jobs that have dispatched at least once (queue-wait metric)
-        self._started_once: Set[int] = set()
-
-        self.jobs: Dict[int, Job] = {}
-        self.pending: List[Job] = []
-        self.running: Dict[int, Job] = {}
-        #: straggling servers: ``{server_id: throughput factor}``; empty
-        #: in fault-free runs, in which case every guard below is inert
-        self.degraded_servers: Dict[str, float] = {}
-        #: the installed :class:`~repro.faults.injector.FaultInjector`,
-        #: when a fault plan is active
-        self.fault_injector = None
-        self._fail_times: Dict[str, float] = {}
-        self._preempt_times: Dict[int, float] = {}
-        self._completion_epoch: Dict[int, int] = {}
-        self._tick_pending = False
-        self._last_tick = -math.inf
-        self._last_arrival = 0.0
-        self._first_attempt_seen: Set[int] = set()
-        self._hour_submissions: Dict[int, int] = {}
-        self._hour_queued: Dict[int, int] = {}
-
-        scaling = get_scaling_model(config.scaling_model)
-        for spec in specs:
-            job = Job(self._clamp_spec(spec))
-            if job.elastic and not config.tuned_jobs:
-                job.scaling_model = scaling
-            self.jobs[job.job_id] = job
-            self._last_arrival = max(self._last_arrival, spec.submit_time)
-        self.metrics.jobs = list(self.jobs.values())
-        self.metrics.submissions = len(self.jobs)
-
-        #: incremental scheduling state; None in legacy full-scan mode
-        self.view: Optional[ClusterView] = None
-        backend = config.resolved_view_backend()
-        if backend != "legacy":
-            view_cls = ClusterView
-            if backend == "array":
-                from repro.core.arrays import ArrayClusterView
-
-                view_cls = ArrayClusterView
-            default_cost = (
-                1.0 / pair.inference_compute
-                if hasattr(pair, "inference_compute")
-                else 3.0
-            )
-            self.view = view_cls(
-                pair.training,
-                default_onloan_cost=default_cost,
-                jobs=self.jobs,
-            )
-        #: the single commit point for decision plans: every epoch's
-        #: :class:`~repro.core.actions.EpochPlan` is applied through it
-        self.executor = PlanExecutor(self)
-        #: applied plans (JSON dicts), populated when ``record_plans``
-        self.plan_log: List[dict] = []
-        #: persistent placement engines, keyed by opportunistic flag
-        self._engines: Dict[bool, PlacementEngine] = {}
-        #: scheduling epochs skipped because no deltas arrived
-        self._epochs_skipped = 0
-        self._last_epoch_version: Optional[int] = None
         #: heartbeat firings (drops when wake-up skipping is active)
         self._heartbeats = 0
-        #: attached :class:`~repro.recovery.manager.RecoveryManager`;
-        #: None (the default) keeps the run loop on the exact pre-recovery
-        #: code path — no checkpoints, no WAL, no recovery allocations
-        self.recovery = None
         #: the run deadline, kept so a restored run can resume to it
         self._deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
-    # setup helpers
+    # the Driver protocol, implemented over the discrete-event engine
     # ------------------------------------------------------------------
-    def _clamp_spec(self, spec: JobSpec) -> JobSpec:
-        """Cap demands at the dedicated cluster size (a real cluster
-        rejects jobs larger than itself), preserving total workload."""
-        capacity = self.pair.training.total_gpus
-        max_fit = max(1, capacity // spec.gpus_per_worker)
-        if spec.max_workers <= max_fit:
-            return spec
-        total_work = spec.total_work
-        new_max = max_fit
-        new_min = min(spec.min_workers, new_max)
-        duration = total_work / (new_max * spec.gpus_per_worker)
-        return replace(
-            spec,
-            max_workers=new_max,
-            min_workers=new_min,
-            duration=duration,
-            elastic=spec.elastic and new_min < new_max,
-        )
+    @property
+    def now(self) -> float:
+        return self.engine.now
 
-    # ------------------------------------------------------------------
-    # observability
-    # ------------------------------------------------------------------
-    def log(self, kind: EventKind, job_id: Optional[int] = None, detail=None,
-            **trace_args):
-        """Record one activity: calibration log plus structured trace.
-
-        ``detail`` feeds the legacy :class:`Activity` audit trail;
-        ``trace_args`` become the structured event's payload (falling
-        back to ``detail`` when no richer payload is given).
-        """
-        if self.config.record_activities:
-            self.activities.append(
-                Activity(self.engine.now, kind, job_id, detail)
-            )
-        if self.tracer.enabled:
-            name, cat = _TRACE_NAMES[kind]
-            if detail is not None and "detail" not in trace_args:
-                trace_args["detail"] = detail
-            self.tracer.emit(
-                name, ts=self.engine.now, cat=cat, job_id=job_id,
-                **trace_args,
-            )
-
-    def trace(self, name: str, job_id: Optional[int] = None, **args) -> None:
-        """Emit a structured event outside the :class:`EventKind` set."""
-        if self.tracer.enabled:
-            self.tracer.emit(name, ts=self.engine.now, job_id=job_id, **args)
-
-    def phase(self, name: str):
-        """Wall-clock phase timer (no-op unless profiling is enabled)."""
-        return self.obs.phases.phase(name)
-
-    def note_trigger(self, kind: str, **detail) -> None:
-        """Record one cause of the next scheduling epoch (provenance).
-
-        Call sites pair this with :meth:`trigger_schedule`; the pending
-        list is consumed into the next applied plan's
-        :class:`~repro.obs.provenance.Provenance`.  A no-op (no dict, no
-        allocation) when the run is untraced.
-        """
-        if not self.tracer.enabled:
-            return
-        if len(self._pending_triggers) >= MAX_TRIGGERS:
-            self._dropped_triggers += 1
-            return
-        self._pending_triggers.append(
-            Trigger(
-                kind=kind,
-                ts=self.engine.now,
-                detail=tuple(sorted(detail.items())),
-            )
-        )
-
-    def _take_provenance(
-        self, plan, extra_triggers=(), consume_pending=True
+    def schedule(
+        self, when: float, callback: Callable[[], None], tag=None
     ) -> None:
-        """Attach a provenance record to a freshly built plan.
+        self.engine.schedule(when, callback, tag=tag)
 
-        Scheduler plans consume the pending trigger list (the events
-        that scheduled the epoch); orchestrator plans are driven by
-        their own interval and only carry synthesized triggers, leaving
-        the pending list for the next scheduling epoch.
-        """
-        dropped = 0
-        if consume_pending:
-            triggers = tuple(self._pending_triggers) + tuple(extra_triggers)
-            self._pending_triggers = []
-            dropped = self._dropped_triggers
-            self._dropped_triggers = 0
-        else:
-            triggers = tuple(extra_triggers)
-        plan.provenance = Provenance(
-            policy=plan.policy,
-            ts=self.engine.now,
-            triggers=triggers,
-            inputs=plan.decision_inputs or {},
-            span_id=plan.span_id,
-            dropped_triggers=dropped,
-        )
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], tag=None
+    ) -> None:
+        self.engine.schedule_after(delay, callback, tag=tag)
+
+    def epoch_finished(self) -> None:
+        if self.drained:
+            # Nothing left to do: cut the run short (samplers would
+            # otherwise keep the heap alive forever).
+            self.engine.stop()
 
     # ------------------------------------------------------------------
     # run loop
@@ -488,104 +232,9 @@ class Simulation:
     # ------------------------------------------------------------------
     def _arrival(self, job: Job):
         def handler() -> None:
-            if self.profiler is not None:
-                # the scheduler sees the profiler's estimate, not the
-                # oracle duration (§3: profiling happens at enqueue)
-                job.estimate_error = self.profiler.estimate_error(job.spec)
-            self.pending.append(job)
-            if self.view is not None:
-                self.view.note_queue_change()
-            hour = int(self.engine.now // 3600)
-            self._hour_submissions[hour] = self._hour_submissions.get(hour, 0) + 1
-            job._arrival_hour = hour  # noqa: SLF001 - simulator-private
-            self.log(
-                EventKind.SUBMIT, job.job_id,
-                min_workers=job.spec.min_workers,
-                max_workers=job.spec.max_workers,
-                gpus_per_worker=job.spec.gpus_per_worker,
-                elastic=job.spec.elastic,
-            )
-            self.note_trigger(TRIGGER_ARRIVAL, job_id=job.job_id)
-            self.trigger_schedule()
+            self.admit_job(job)
 
         return handler
-
-    def trigger_schedule(self) -> None:
-        """Request a scheduling epoch, coalescing rapid-fire triggers."""
-        if self._tick_pending:
-            return
-        self._tick_pending = True
-        when = max(self.engine.now, self._last_tick + self.config.scheduler_interval)
-        self.engine.schedule(when, self._schedule_tick, tag=("tick",))
-
-    def _schedule_tick(self) -> None:
-        self._tick_pending = False
-        self._last_tick = self.engine.now
-        self.log(EventKind.SCHEDULE_EPOCH, detail=len(self.pending))
-        with self.obs.phases.phase(PHASE_SCHEDULER_TICK):
-            if self._can_skip_epoch():
-                # No deltas since the last epoch and the policy is
-                # epoch-idempotent: re-running would provably repeat the
-                # same (non-)decisions.  The epoch is still logged and
-                # the bookkeeping below still runs, so activity logs and
-                # metrics are identical to the non-skipping path.
-                self._epochs_skipped += 1
-                self.metrics.registry.counter("sim.epochs_skipped").inc()
-            else:
-                plan = self.policy.plan(self)
-                if self.tracer.enabled:
-                    self._take_provenance(plan)
-                self.executor.apply(plan)
-                if self.view is not None:
-                    self._last_epoch_version = self.view.version
-        # First-attempt bookkeeping for the Fig. 2 queuing ratio.
-        for job in self.pending:
-            if job.job_id not in self._first_attempt_seen:
-                self._first_attempt_seen.add(job.job_id)
-                hour = getattr(job, "_arrival_hour", 0)
-                self._hour_queued[hour] = self._hour_queued.get(hour, 0) + 1
-        for job in list(self.running.values()):
-            self._first_attempt_seen.add(job.job_id)
-        if not self.pending and not self.running and self.engine.now >= self._last_arrival:
-            # Nothing left to do: cut the run short (samplers would
-            # otherwise keep the heap alive forever).
-            self.engine.stop()
-
-    def _can_skip_epoch(self) -> bool:
-        """Whether this epoch is provably a no-op.
-
-        Requires an epoch-idempotent policy, an unchanged ClusterView
-        version since the last executed epoch, and no active fault
-        machinery (transient launch gates could make a retry succeed
-        where the last epoch failed)."""
-        return (
-            self.view is not None
-            and getattr(self.policy, "epoch_idempotent", False)
-            and self._last_epoch_version is not None
-            and self._last_epoch_version == self.view.version
-            and self.fault_injector is None
-            and not self.degraded_servers
-        )
-
-    def placement_engine(self, opportunistic: bool = False) -> PlacementEngine:
-        """The persistent, view-fed placement engine for this simulation.
-
-        One engine per opportunistic flag lives for the whole run (the
-        engine is stateless apart from configuration, so persistence is
-        safe); its clock is refreshed on every call.
-        """
-        engine = self._engines.get(opportunistic)
-        if engine is None:
-            engine = PlacementEngine(
-                self.cluster,
-                special_elastic_grouping=self.config.special_elastic_grouping,
-                opportunistic=opportunistic,
-                rm=self.rm,
-                view=self.view,
-            )
-            self._engines[opportunistic] = engine
-        engine.now = self.now
-        return engine
 
     def _sampler(self) -> None:
         now = self.engine.now
@@ -665,410 +314,9 @@ class Simulation:
         )
 
     def _orchestrator_tick(self) -> None:
-        assert self.orchestrator is not None
-        plan = self.orchestrator.plan_tick(self)
-        if self.tracer.enabled:
-            inputs = plan.decision_inputs or {}
-            extra = [Trigger(
-                kind=TRIGGER_INTERVAL,
-                ts=self.engine.now,
-                detail=(("interval_s", self.config.orchestrator_interval),),
-            )]
-            if inputs.get("forecast_capped"):
-                extra.append(Trigger(TRIGGER_FORECAST, ts=self.engine.now))
-            if inputs.get("degraded"):
-                extra.append(Trigger(
-                    TRIGGER_FAULT,
-                    ts=self.engine.now,
-                    detail=(("fault", "predictor_down"),),
-                ))
-            self._take_provenance(
-                plan, extra_triggers=extra, consume_pending=False
-            )
-        self.executor.apply(plan)
+        self.run_orchestrator_epoch()
         if self.pending or self.running or self.engine.now < self._last_arrival:
             self.engine.schedule_after(
                 self.config.orchestrator_interval, self._orchestrator_tick,
                 tag=("orch",),
             )
-
-    # ------------------------------------------------------------------
-    # policy-facing API
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        return self.engine.now
-
-    @property
-    def running_elastic(self) -> List[Job]:
-        return [j for j in self.running.values() if j.elastic]
-
-    def activate(self, job: Job) -> None:
-        """Start a job whose workers the policy just placed."""
-        if job.total_workers < job.spec.min_workers:
-            raise RuntimeError(
-                f"job {job.job_id} activated with {job.total_workers} workers "
-                f"< base demand {job.spec.min_workers}"
-            )
-        self.pending.remove(job)
-        if self.view is not None:
-            self.view.note_queue_change()
-        job.mark_started(self.now)
-        self._apply_tuning(job)
-        if self.degraded_servers:
-            job.straggler_penalty = self._straggler_penalty_for(job)
-        restart_of = self._preempt_times.pop(job.job_id, None)
-        if restart_of is not None:
-            # time-to-recover: how long a preempted job waited to run again
-            self.metrics.registry.histogram(
-                "resilience.time_to_restart_s"
-            ).observe(self.now - restart_of)
-        self.running[job.job_id] = job
-        if job.job_id not in self._started_once:
-            self._started_once.add(job.job_id)
-            self.metrics.registry.histogram("sim.queue_wait_s").observe(
-                self.now - job.spec.submit_time
-            )
-        self.log(
-            EventKind.START, job.job_id, detail=job.total_workers,
-            workers=job.total_workers,
-            queued_s=self.now - job.spec.submit_time,
-            **self._start_trace_extras(job),
-        )
-        self._reschedule_completion(job)
-
-    def _start_trace_extras(self, job: Job) -> Dict[str, object]:
-        """Placement/loan context attached to traced ``job.start`` events
-        (powers the per-job timeline); empty — and allocation-free — in
-        untraced runs."""
-        if not self.tracer.enabled:
-            return {}
-        gpu_types = set()
-        for sid in job.servers:
-            server = self.rm._server(sid)
-            if server is not None:
-                gpu_types.add(server.gpu_type.name)
-        return {
-            "servers": sorted(job.servers),
-            "onloan": sorted(job._onloan_servers),
-            "gpu_types": sorted(gpu_types),
-        }
-
-    def rescale(self, job: Job, scaled_out: bool) -> None:
-        """Account a scale operation on a running job and re-time it."""
-        job.advance(self.now)
-        self._apply_tuning(job)
-        if self.degraded_servers:
-            job.straggler_penalty = self._straggler_penalty_for(job)
-        job.scale_ops += 1
-        self.metrics.scale_ops += 1
-        kind = EventKind.SCALE_OUT if scaled_out else EventKind.SCALE_IN
-        self.log(kind, job.job_id, detail=job.total_workers,
-                 workers=job.total_workers)
-        self._reschedule_completion(job)
-
-    # -- plan-commit primitives (called by PlanExecutor only) ----------
-    def _commit_start(
-        self, job: Job, workers: int, queued_s: float, eta: float
-    ) -> None:
-        """Commit a staged :class:`~repro.core.actions.Launch`.
-
-        The job's resource-side start (placement, mark_started, tuning)
-        already happened inside the plan transaction; this performs the
-        deferred lifecycle half of :meth:`activate` with the payloads
-        snapshotted at decision time, so logs and completion timing are
-        byte-identical to the imperative path.
-        """
-        self.pending.remove(job)
-        if self.view is not None:
-            self.view.note_queue_change()
-        restart_of = self._preempt_times.pop(job.job_id, None)
-        if restart_of is not None:
-            # time-to-recover: how long a preempted job waited to run again
-            self.metrics.registry.histogram(
-                "resilience.time_to_restart_s"
-            ).observe(self.now - restart_of)
-        self.running[job.job_id] = job
-        if job.job_id not in self._started_once:
-            self._started_once.add(job.job_id)
-            self.metrics.registry.histogram("sim.queue_wait_s").observe(
-                queued_s
-            )
-        self.log(
-            EventKind.START, job.job_id, detail=workers,
-            workers=workers, queued_s=queued_s,
-            **self._start_trace_extras(job),
-        )
-        self._schedule_completion_at(job, eta)
-
-    def _commit_rescale(
-        self, job: Job, scaled_out: bool, workers: int, eta: float
-    ) -> None:
-        """Commit a staged ScaleOut/ScaleIn: the lifecycle half of
-        :meth:`rescale`, with decision-time payload snapshots."""
-        job.scale_ops += 1
-        self.metrics.scale_ops += 1
-        kind = EventKind.SCALE_OUT if scaled_out else EventKind.SCALE_IN
-        self.log(kind, job.job_id, detail=workers, workers=workers)
-        self._schedule_completion_at(job, eta)
-
-    def _apply_tuning(self, job: Job) -> None:
-        """Lyra+TunedJobs: retune batch size/LR on every allocation change.
-
-        Tuning restores near-perfect scaling and yields a small goodput
-        bonus whenever the job runs above base demand (§7.4)."""
-        if not self.config.tuned_jobs or not job.elastic:
-            return
-        if job.total_workers > job.spec.min_workers:
-            job.hetero_penalty = _TUNING_BONUS
-        else:
-            job.hetero_penalty = 1.0
-
-    def _reschedule_completion(self, job: Job) -> None:
-        self._schedule_completion_at(job, job.eta())
-
-    def _schedule_completion_at(self, job: Job, eta: float) -> None:
-        """(Re-)arm the job's completion at ``now + eta``.
-
-        ``eta`` may be a plan-time snapshot: committing every staged
-        action's recorded eta in order reproduces the legacy sequence of
-        heap insertions exactly, including ones superseded later in the
-        same epoch (heap identity drives heartbeat skip-ahead timing).
-        """
-        epoch = self._completion_epoch.get(job.job_id, 0) + 1
-        self._completion_epoch[job.job_id] = epoch
-        if math.isinf(eta):
-            return
-        self.engine.schedule(
-            self.now + eta, self._completion(job, epoch),
-            tag=("completion", job.job_id, epoch),
-        )
-
-    def _completion(self, job: Job, epoch: int):
-        def handler() -> None:
-            if self._completion_epoch.get(job.job_id) != epoch:
-                return  # stale event from a superseded allocation
-            if job.status is not JobStatus.RUNNING:
-                return
-            job.advance(self.now)
-            if job.remaining_work > _WORK_EPS * job.spec.total_work:
-                self._reschedule_completion(job)
-                return
-            self.rm.release_job(job, now=self.now)
-            job.mark_finished(self.now)
-            del self.running[job.job_id]
-            if self.profiler is not None:
-                self.profiler.observe(job.spec, job.spec.duration)
-            self.metrics.registry.histogram("sim.jct_s").observe(job.jct)
-            self.log(EventKind.FINISH, job.job_id, jct_s=job.jct)
-            logger.debug("job %d finished at %.0f (jct %.0f s)",
-                         job.job_id, self.now, job.jct)
-            self.note_trigger(TRIGGER_COMPLETION, job_id=job.job_id)
-            self.trigger_schedule()
-
-        return handler
-
-    def preempt(self, job: Job, cause: str = "scheduler") -> None:
-        """Preempt a running job (reclaiming made it inevitable, §4)."""
-        if job.job_id not in self.running:
-            raise RuntimeError(f"job {job.job_id} is not running")
-        job.advance(self.now)  # bank progress before containers die
-        workers = job.total_workers
-        # resilience accounting: GPU-seconds this preemption destroys —
-        # all banked progress unless checkpointing, plus the §7.5
-        # checkpoint/restart overhead either way
-        lost_work = self.config.preemption_overhead * (
-            job.spec.max_workers * job.spec.gpus_per_worker
-        )
-        if not job.spec.checkpointing:
-            lost_work += job.spec.total_work - job.remaining_work
-        self.metrics.registry.histogram(
-            "resilience.lost_gpu_hours", cause=cause
-        ).observe(lost_work / 3600.0)
-        self.metrics.registry.counter(
-            "sim.preemptions_by_cause", cause=cause
-        ).inc()
-        self._preempt_times[job.job_id] = self.now
-        self.rm.release_job(job, now=self.now)
-        job.mark_preempted(self.now, overhead=self.config.preemption_overhead)
-        del self.running[job.job_id]
-        self._completion_epoch[job.job_id] = (
-            self._completion_epoch.get(job.job_id, 0) + 1
-        )
-        self.pending.append(job)
-        if self.view is not None:
-            self.view.note_queue_change()
-        self.metrics.preemptions += 1
-        self.log(EventKind.PREEMPT, job.job_id, cause=cause, workers=workers)
-        logger.debug("job %d preempted at %.0f (cause=%s)",
-                     job.job_id, self.now, cause)
-        self.note_trigger(TRIGGER_PREEMPT, job_id=job.job_id, cause=cause)
-        self.trigger_schedule()
-
-    def scale_in_worker_counts(self, job: Job, server_workers: Dict[str, int]):
-        """Remove specific flexible workers of a running job."""
-        job.advance(self.now)
-        for server_id, workers in server_workers.items():
-            self.rm.scale_in(job, server_id, workers, now=self.now)
-        self.rescale(job, scaled_out=False)
-
-    # ------------------------------------------------------------------
-    # failure injection (driven by repro.faults.injector.FaultInjector)
-    # ------------------------------------------------------------------
-    @property
-    def drained(self) -> bool:
-        """True once no work remains and no more arrivals are due."""
-        return (
-            not self.pending
-            and not self.running
-            and self.now >= self._last_arrival
-        )
-
-    def record_failure_noop(
-        self, reason: str, server_id: Optional[str] = None
-    ) -> None:
-        """A fault event landed on nothing; record it, never skip it
-        silently (an outage of an empty rack is still an outage)."""
-        self.metrics.registry.counter(
-            "resilience.node_failure_noop", reason=reason
-        ).inc()
-        self.trace(
-            "fault.node_failure_noop", reason=reason, server_id=server_id
-        )
-        logger.debug("node failure no-op at %.0f (%s, server=%s)",
-                     self.now, reason, server_id)
-
-    def apply_node_failure(
-        self,
-        server_id: str,
-        repair_time: Optional[float] = None,
-        cause: str = "node_failure",
-    ) -> bool:
-        """One server dies (§6 monitors server status; the paper's
-        clusters see real node failures).
-
-        Jobs that lost base workers restart from the queue (gang
-        semantics); jobs that only lost flexible workers shrink and
-        continue.  Returns True when the failure landed; a failure
-        targeting an unknown or already-unhealthy server is a recorded
-        no-op returning False.  ``repair_time`` schedules the matching
-        recovery (None leaves the node down for the rest of the run).
-        """
-        if server_id not in self.cluster and server_id not in self.pair.inference:
-            self.record_failure_noop("unknown_server", server_id)
-            return False
-        if not self.rm.is_healthy(server_id):
-            self.record_failure_noop("already_unhealthy", server_id)
-            return False
-        report = self.rm.fail_node(server_id, now=self.now)
-        if self.view is not None:
-            # node health lives in the RM, not the GPU books — force
-            # consumers (placement health filter) to revisit
-            self.view.bump()
-        self.metrics.node_failures += 1
-        self._fail_times[server_id] = self.now
-        self.trace(
-            "cluster.node_failure", server_id=server_id,
-            jobs_lost_base=sorted(report.jobs_lost_base),
-            jobs_lost_flex=sorted(report.jobs_lost_flex),
-        )
-        logger.info("node %s failed at %.0f (%d base jobs lost)",
-                    server_id, self.now, len(report.jobs_lost_base))
-        # jobs that lost base workers restart from the queue
-        for job_id in sorted(report.jobs_lost_base):
-            if job_id in self.running:
-                self.preempt(self.jobs[job_id], cause=cause)
-        # jobs that only lost flexible workers shrink and continue
-        for job_id in sorted(report.jobs_lost_flex):
-            workers = report.jobs_lost_flex[job_id]
-            job = self.jobs[job_id]
-            if job_id not in self.running:
-                continue
-            job.advance(self.now)  # progress up to the failure instant
-            remaining = workers
-            for sid in list(job.flex_placement):
-                if sid != server_id:
-                    continue
-                have = job.flex_placement[sid]
-                take = min(have, remaining)
-                job.flex_placement[sid] = have - take
-                if job.flex_placement[sid] == 0:
-                    job.remove_flex_on(sid)
-                remaining -= take
-            self.rescale(job, scaled_out=False)
-        if repair_time is not None:
-            self.engine.schedule_after(
-                repair_time,
-                lambda sid=server_id: self._node_recovery(sid),
-                tag=("node_recovery", server_id),
-            )
-        self.note_trigger(
-            TRIGGER_NODE_FAILURE, server_id=server_id, cause=cause
-        )
-        self.trigger_schedule()
-        return True
-
-    def _node_recovery(self, server_id: str) -> None:
-        self.rm.recover_node(server_id, now=self.now)
-        if self.view is not None:
-            self.view.bump()
-        failed_at = self._fail_times.pop(server_id, None)
-        if failed_at is not None:
-            self.metrics.registry.histogram(
-                "resilience.node_downtime_s"
-            ).observe(self.now - failed_at)
-        self.trace("cluster.node_recovery", server_id=server_id)
-        self.note_trigger(TRIGGER_NODE_RECOVERY, server_id=server_id)
-        self.trigger_schedule()
-
-    # ------------------------------------------------------------------
-    # straggler degradation (driven by the fault injector)
-    # ------------------------------------------------------------------
-    def set_server_degradation(
-        self, server_id: str, factor: Optional[float] = None
-    ) -> None:
-        """Mark a server as straggling at ``factor`` of nominal
-        throughput (None restores full speed) and re-time every running
-        job it hosts."""
-        server = self.rm._server(server_id)
-        if factor is None:
-            self.degraded_servers.pop(server_id, None)
-            if server is not None:
-                server.perf_factor = 1.0
-        else:
-            self.degraded_servers[server_id] = factor
-            if server is not None:
-                server.perf_factor = factor
-        if self.view is not None:
-            # perf_factor feeds the placement sort order; mirroring
-            # backends refresh their column from the updated server
-            if server is not None:
-                self.view.note_server_attrs(server)
-            else:
-                self.view.bump()
-        for job in list(self.running.values()):
-            if server_id in job.servers:
-                job.advance(self.now)
-                job.straggler_penalty = self._straggler_penalty_for(job)
-                self._reschedule_completion(job)
-
-    def _straggler_penalty_for(self, job: Job) -> float:
-        """Synchronous training paces at its slowest worker: the penalty
-        is the worst factor among the job's host servers."""
-        if not self.degraded_servers:
-            return 1.0
-        return min(
-            (self.degraded_servers.get(sid, 1.0) for sid in job.servers),
-            default=1.0,
-        )
-
-    # ------------------------------------------------------------------
-    # reporting helpers
-    # ------------------------------------------------------------------
-    def _finalize_hourly_ratio(self) -> None:
-        ratios = []
-        for hour in sorted(self._hour_submissions):
-            submitted = self._hour_submissions[hour]
-            queued = self._hour_queued.get(hour, 0)
-            ratios.append(queued / submitted if submitted else 0.0)
-        self.metrics.hourly_queuing_ratio = ratios

@@ -546,6 +546,7 @@ class TestProvenanceLedger:
         # the zero-cost-when-disabled contract, asserted structurally:
         # a run without tracing must never construct a Provenance
         import repro.core.actions as actions_mod
+        import repro.core.kernel as kernel_mod
         import repro.simulator.simulation as sim_mod
 
         calls = []
@@ -555,6 +556,7 @@ class TestProvenanceLedger:
                 calls.append((args, kwargs))
 
         monkeypatch.setattr(sim_mod, "Provenance", Spy)
+        monkeypatch.setattr(kernel_mod, "Provenance", Spy)
         monkeypatch.setattr(actions_mod, "Provenance", Spy)
         tiny_obs_run()  # default bundle: tracing off
         assert calls == []

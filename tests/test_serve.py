@@ -1,0 +1,441 @@
+"""Tests for the serving daemon: protocol, wall-clock driver, service.
+
+The service tests run a real :class:`SchedulerService` on an ephemeral
+port inside ``asyncio.run`` (the suite has no async test plugin), with
+``time_scale`` cranked up so kernel-time jobs finish in wall
+milliseconds.  The durability test follows the daemon's actual crash
+story: hard-abandon a service mid-flight (no final snapshot), restart
+on the same state directory, and require every acked job back.
+"""
+
+import asyncio
+import contextlib
+import pickle
+
+import pytest
+
+from repro.cluster.cluster import (
+    ClusterPair,
+    make_inference_cluster,
+    make_training_cluster,
+)
+from repro.core.kernel import SimulationConfig
+from repro.schedulers.fifo import FIFOScheduler
+from repro.serve import SchedulerService, ServeClient, WallClockDriver
+from repro.serve import protocol
+from repro.serve.client import ServeError
+
+
+def _pair():
+    return ClusterPair(
+        make_training_cluster(2), make_inference_cluster(2)
+    )
+
+
+def _service(**kw):
+    interval = kw.pop("interval", 1.0)
+    kw.setdefault("time_scale", 500.0)
+    return SchedulerService(
+        _pair(), FIFOScheduler(),
+        SimulationConfig(scheduler_interval=interval),
+        port=0, **kw,
+    )
+
+
+def run_with_service(body, **service_kw):
+    """Start a daemon, run ``body(service, client)``, tear down."""
+
+    async def main():
+        service = _service(**service_kw)
+        await service.start()
+        server = asyncio.ensure_future(service.serve_forever())
+        client = await ServeClient.connect(service.host, service.port)
+        try:
+            return await body(service, client)
+        finally:
+            await client.close()
+            await service.stop()
+            server.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await server
+
+    return asyncio.run(main())
+
+
+async def _wait_status(client, job_id, status, timeout=5.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        info = await client.query(job_id)
+        if info["status"] == status:
+            return info
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"job {job_id} never reached {status!r}")
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip(self):
+        frame = protocol.encode({"op": "ping", "id": 7})
+        assert frame.endswith(b"\n")
+        assert protocol.decode_line(frame) == {"op": "ping", "id": 7}
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_line(b"[1,2,3]\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_line(b"not json\n")
+
+    def test_spec_rejects_unknown_fields(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown"):
+            protocol.spec_from_request(
+                {"duration": 10, "max_workers": 1, "job_id": 5}, 0, 0.0
+            )
+
+    def test_spec_requires_duration_and_workers(self):
+        with pytest.raises(protocol.ProtocolError, match="requires"):
+            protocol.spec_from_request({"duration": 10}, 0, 0.0)
+
+    def test_spec_dict_roundtrip(self):
+        spec = protocol.spec_from_request(
+            {"duration": 10, "max_workers": 2, "elastic": True}, 3, 1.5
+        )
+        clone = protocol.spec_from_dict(protocol.spec_to_dict(spec))
+        assert clone == spec
+
+
+# ----------------------------------------------------------------------
+# wall-clock driver
+# ----------------------------------------------------------------------
+class TestWallClockDriver:
+    def test_unbound_now_is_start_at(self):
+        driver = WallClockDriver(start_at=42.0)
+        assert driver.now == 42.0
+
+    def test_schedule_before_bind_raises(self):
+        with pytest.raises(RuntimeError, match="bind"):
+            WallClockDriver().schedule(1.0, lambda: None)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            WallClockDriver(time_scale=0.0)
+
+    def test_time_scale_maps_kernel_to_wall(self):
+        async def main():
+            driver = WallClockDriver(time_scale=100.0, start_at=7.0)
+            driver.bind(asyncio.get_running_loop())
+            t0 = driver.now
+            await asyncio.sleep(0.05)
+            elapsed = driver.now - t0
+            assert 2.0 < elapsed < 60.0  # ~5 kernel-s, generous bounds
+            assert driver.now >= 7.0
+
+        asyncio.run(main())
+
+    def test_callback_errors_are_swallowed(self):
+        async def main():
+            driver = WallClockDriver(time_scale=1000.0)
+            driver.bind(asyncio.get_running_loop())
+
+            def boom():
+                raise RuntimeError("kernel bug")
+
+            driver.schedule_after(0.0, boom, tag=("tick",))
+            await asyncio.sleep(0.05)
+            assert driver.callback_errors == 1
+            assert driver.timers_armed == 1
+
+        asyncio.run(main())
+
+    def test_pickle_carries_kernel_time_not_loop(self):
+        async def main():
+            driver = WallClockDriver(time_scale=50.0, start_at=10.0)
+            driver.bind(asyncio.get_running_loop())
+            await asyncio.sleep(0.02)
+            frozen = pickle.loads(pickle.dumps(driver))
+            assert frozen.time_scale == 50.0
+            assert not frozen.bound
+            # restored time resumes from (roughly) the pickling instant
+            assert frozen.now >= 10.0
+            assert abs(frozen.now - driver.now) < 60.0
+
+        asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class TestServiceLifecycle:
+    def test_submit_runs_to_completion(self):
+        async def body(service, client):
+            assert (await client.ping())["draining"] is False
+            job_id = await client.submit(
+                duration=20.0, max_workers=1, min_workers=1
+            )
+            info = await _wait_status(client, job_id, "finished")
+            assert info["start_time"] is not None
+            assert info["finish_time"] > info["submit_time"]
+            summary = await client.query()
+            assert summary["finished"] == 1
+            assert summary["pending"] == 0
+
+        run_with_service(body)
+
+    def test_burst_batches_into_few_epochs(self):
+        async def body(service, client):
+            for _ in range(10):
+                await client.submit(duration=30.0, max_workers=1)
+            for job_id in range(10):
+                await _wait_status(client, job_id, "finished")
+            stats = await client.stats()
+            # one admission epoch would be ideal; allow a little skew
+            # between the burst and the first tick, but nothing like
+            # one epoch per request
+            assert stats["epochs"] < 10
+            assert stats["plans_applied"] <= stats["epochs"]
+
+        run_with_service(body, interval=2.0)
+
+    def test_unknown_op_and_unknown_job(self):
+        async def body(service, client):
+            with pytest.raises(ServeError) as exc:
+                await client.request("frobnicate")
+            assert exc.value.code == "unknown_op"
+            with pytest.raises(ServeError) as exc:
+                await client.query(999)
+            assert exc.value.code == "unknown_job"
+            with pytest.raises(ServeError) as exc:
+                await client.submit(duration=10.0, max_workers=1,
+                                    job_id=5)
+            assert exc.value.code == "bad_request"
+
+        run_with_service(body)
+
+    def test_admission_control_sheds_load(self):
+        async def body(service, client):
+            # base demand 16 GPUs fills both servers; everything behind
+            # it queues
+            await client.submit(duration=10_000.0, max_workers=16,
+                                min_workers=16)
+            accepted, rejected = 0, 0
+            for _ in range(8):
+                try:
+                    await client.submit(duration=100.0, max_workers=1)
+                    accepted += 1
+                except ServeError as exc:
+                    assert exc.code == "queue_full"
+                    rejected += 1
+            assert rejected > 0
+            stats = await client.stats()
+            assert stats["pending"] <= 3 + 1  # max_pending, + in-flight
+
+        run_with_service(body, max_pending=3, interval=0.5)
+
+    def test_cancel_pending_and_running(self):
+        async def body(service, client):
+            blocker = await client.submit(
+                duration=10_000.0, max_workers=16, min_workers=16
+            )
+            await _wait_status(client, blocker, "running")
+            queued = await client.submit(duration=100.0, max_workers=1)
+            assert await client.cancel(queued) is True
+            assert await client.cancel(queued) is False  # idempotent
+            assert await client.cancel(blocker) is True
+            with pytest.raises(ServeError):
+                await client.query(blocker)  # cancelled jobs are gone
+
+        run_with_service(body)
+
+    def test_scale_running_elastic_job(self):
+        async def body(service, client):
+            job_id = await client.submit(
+                duration=2_000.0, max_workers=4, min_workers=1,
+                elastic=True,
+            )
+            await _wait_status(client, job_id, "running")
+            info = await client.query(job_id)
+            shrunk = await client.scale(job_id, 1)
+            assert shrunk["applied"] in ("scale_in", "noop")
+            assert shrunk["workers"] <= info["workers"]
+            grown = await client.scale(job_id, 4)
+            assert grown["applied"] in ("requested", "noop")
+            with pytest.raises(ServeError) as exc:
+                await client.scale(job_id, 0)
+            assert exc.value.code == "bad_scale"
+
+        run_with_service(body)
+
+    def test_event_stream_delivers_lifecycle(self):
+        async def body(service, client):
+            subscriber = await ServeClient.connect(
+                service.host, service.port
+            )
+            events = await subscriber.subscribe()
+            seen = []
+
+            async def consume():
+                async for event in events:
+                    seen.append(event)
+
+            task = asyncio.create_task(consume())
+            job_id = await client.submit(duration=20.0, max_workers=1)
+            await _wait_status(client, job_id, "finished")
+            await asyncio.sleep(0.05)
+            kinds = {e["kind"] for e in seen}
+            assert {"submit", "schedule_epoch", "start", "finish"} <= kinds
+            assert any(e["job_id"] == job_id and e["kind"] == "finish"
+                       for e in seen)
+            task.cancel()
+            await subscriber.close()
+
+        run_with_service(body)
+
+    def test_drain_stops_admission_then_resolves(self):
+        async def body(service, client):
+            await client.submit(duration=30.0, max_workers=1)
+            assert await client.drain(timeout=5.0) is True
+            with pytest.raises(ServeError) as exc:
+                await client.submit(duration=10.0, max_workers=1)
+            assert exc.value.code == "draining"
+            stats = await client.stats()
+            assert stats["running"] == 0 and stats["pending"] == 0
+
+        run_with_service(body)
+
+    def test_latency_histogram_is_recorded(self):
+        async def body(service, client):
+            job_id = await client.submit(duration=20.0, max_workers=1)
+            await _wait_status(client, job_id, "finished")
+            stats = await client.stats()
+            hists = stats["metrics"]["histograms"]
+            latency = hists["serve.submit_to_scheduled_s"]
+            assert latency["count"] == 1
+            assert latency["p99"] >= 0.0
+
+        run_with_service(body)
+
+
+class TestServeDurability:
+    def test_kill_and_restart_loses_no_acked_job(self, tmp_path):
+        """Hard-kill equivalence: acked work survives without the final
+        snapshot — some jobs from the last epoch snapshot, the rest
+        replayed from the request journal."""
+        state_dir = tmp_path / "state"
+
+        async def first_life():
+            service = _service(state_dir=state_dir, interval=1.0)
+            await service.start()
+            server = asyncio.ensure_future(service.serve_forever())
+            client = await ServeClient.connect(service.host, service.port)
+            acked = []
+            for i in range(6):
+                acked.append(await client.submit(
+                    duration=5_000.0, max_workers=1, min_workers=1
+                ))
+                if i == 3:
+                    # let an epoch (and its snapshot) happen mid-burst
+                    await _wait_status(client, acked[0], "running")
+            stats = await client.stats()
+            assert stats["snapshots_written"] >= 1
+            await client.close()
+            # the crash: no drain, no stop(), no final snapshot
+            server.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await server
+            service._server.close()
+            service.state.journal.close()
+            return acked
+
+        acked = asyncio.run(first_life())
+
+        async def second_life():
+            service = _service(state_dir=state_dir, interval=1.0)
+            await service.start()
+            server = asyncio.ensure_future(service.serve_forever())
+            client = await ServeClient.connect(service.host, service.port)
+            try:
+                assert service.recovered_jobs + service.replayed_requests \
+                    >= len(acked)
+                summary = await client.query()
+                alive = (summary["pending"] + summary["running"]
+                         + summary["finished"])
+                assert alive == len(acked)
+                for job_id in acked:
+                    info = await client.query(job_id)
+                    assert info["status"] in (
+                        "pending", "running", "finished"
+                    )
+                stats = await client.stats()
+                assert stats["recovered_jobs"] > 0
+            finally:
+                await client.close()
+                await service.stop()
+                server.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await server
+
+        asyncio.run(second_life())
+
+    def test_restart_does_not_duplicate_snapshotted_jobs(self, tmp_path):
+        state_dir = tmp_path / "state"
+
+        async def first_life():
+            service = _service(state_dir=state_dir, interval=1.0)
+            await service.start()
+            server = asyncio.ensure_future(service.serve_forever())
+            client = await ServeClient.connect(service.host, service.port)
+            job_id = await client.submit(
+                duration=5_000.0, max_workers=1, min_workers=1
+            )
+            await _wait_status(client, job_id, "running")
+            await client.close()
+            await service.stop()  # graceful: final snapshot
+            server.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await server
+
+        asyncio.run(first_life())
+
+        async def second_life():
+            service = _service(state_dir=state_dir, interval=1.0)
+            await service.start()
+            try:
+                # the journal entry is also covered by the snapshot; the
+                # replay guard must not double-register the job
+                assert len(service.kernel.jobs) == 1
+                assert service.kernel.metrics.submissions == 1
+            finally:
+                await service.stop(final_snapshot=False)
+
+        asyncio.run(second_life())
+
+    def test_wal_segments_per_generation(self, tmp_path):
+        state_dir = tmp_path / "state"
+
+        async def life():
+            service = _service(state_dir=state_dir, interval=1.0)
+            await service.start()
+            client = None
+            server = asyncio.ensure_future(service.serve_forever())
+            try:
+                client = await ServeClient.connect(
+                    service.host, service.port
+                )
+                job_id = await client.submit(
+                    duration=20.0, max_workers=1
+                )
+                await _wait_status(client, job_id, "finished")
+            finally:
+                if client is not None:
+                    await client.close()
+                await service.stop()
+                server.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await server
+
+        asyncio.run(life())
+        asyncio.run(life())
+        segments = sorted(p.name for p in state_dir.glob("wal-gen*.jsonl"))
+        assert segments == ["wal-gen0.jsonl", "wal-gen1.jsonl"]

@@ -239,12 +239,13 @@ class TestSimulationFastPath:
 
     def _run(self, incremental, policy=None):
         pair = _pair(train=2, infer=2)
+        backend = "incremental" if incremental else "legacy"
         sim = Simulation(
             self._specs(),
             pair,
             policy or FIFOScheduler(),
             config=SimulationConfig(
-                record_activities=True, incremental_view=incremental
+                record_activities=True, view_backend=backend
             ),
         )
         sim.run()
@@ -270,3 +271,33 @@ class TestSimulationFastPath:
     def test_legacy_mode_has_no_view(self):
         sim = self._run(False)
         assert sim.view is None
+
+
+class TestIncrementalViewDeprecation:
+    """``incremental_view`` is deprecated in favor of ``view_backend``;
+    the warning and the bool→backend mapping are pinned here."""
+
+    def test_true_warns_and_maps_to_incremental(self):
+        with pytest.warns(DeprecationWarning, match="incremental_view"):
+            cfg = SimulationConfig(incremental_view=True)
+        assert cfg.resolved_view_backend() == "incremental"
+
+    def test_false_warns_and_maps_to_legacy(self):
+        with pytest.warns(DeprecationWarning, match="view_backend='legacy'"):
+            cfg = SimulationConfig(incremental_view=False)
+        assert cfg.resolved_view_backend() == "legacy"
+
+    def test_explicit_view_backend_wins(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = SimulationConfig(
+                incremental_view=False, view_backend="array"
+            )
+        assert cfg.resolved_view_backend() == "array"
+
+    def test_default_is_incremental_without_warning(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            cfg = SimulationConfig()
+        assert cfg.resolved_view_backend() == "incremental"
