@@ -1,0 +1,110 @@
+"""Capacity-market benchmark: N×M broker clearing vs the single pair.
+
+Runs the same workload on the same total hardware three ways:
+
+* ``pair``  — the classic 1 inference + 1 training ClusterPair;
+* ``1x1``   — the degenerate market (ClusterSet + CapacityBroker), which
+  must match the pair's scheduling metrics exactly (the golden-log suite
+  pins this byte-for-byte; here it shows up as identical JCT/queuing);
+* ``2x2``   — two lenders in staggered time zones, two training regions,
+  broker-cleared with contracts and transfer costs.
+
+Reported per topology: queuing/JCT summaries, training usage, loan and
+reclaim operation counts, wall time, and the market accounting (contracts
+opened, early recalls, penalties, transfer cost).  Run directly::
+
+    python benchmarks/bench_market.py [--json OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.market import market_config_from_spec
+from repro.scenarios import build_sim
+
+from bench_util import emit, get_setup
+
+
+def run_topology(label: str, market_spec=None, seed: int = 0):
+    setup = get_setup(seed=seed)
+    market = (
+        market_config_from_spec(market_spec) if market_spec else None
+    )
+    sim = build_sim(setup, "lyra", seed=seed, market=market)
+    started = time.perf_counter()
+    metrics = sim.run()
+    wall = time.perf_counter() - started
+    snapshot = (
+        sim.pair.market_snapshot()
+        if hasattr(sim.pair, "market_snapshot")
+        else None
+    )
+    return {
+        "label": label,
+        "wall_s": wall,
+        "queuing_mean": metrics.queuing_summary().mean,
+        "jct_mean": metrics.jct_summary().mean,
+        "usage_training": metrics.training_usage.mean(),
+        "loan_ops": len(metrics.loan_ops),
+        "reclaim_ops": len(metrics.reclaim_ops),
+        "market": snapshot,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="also write the raw results as JSON")
+    args = parser.parse_args()
+
+    results = [
+        run_topology("pair"),
+        run_topology("1x1", "1x1"),
+        run_topology("2x2", "2x2"),
+    ]
+
+    rows = []
+    for r in results:
+        market = r["market"] or {}
+        rows.append([
+            r["label"],
+            r["queuing_mean"],
+            r["jct_mean"],
+            r["usage_training"],
+            r["loan_ops"],
+            r["reclaim_ops"],
+            market.get("contracts_opened", 0),
+            market.get("early_recalls", 0),
+            market.get("penalties_accrued", 0.0),
+            r["wall_s"],
+        ])
+    emit(
+        "BENCH_market",
+        "Capacity market vs single pair (scheme=lyra)",
+        ["topology", "qmean", "jct_mean", "usageT", "loans",
+         "reclaims", "contracts", "early", "penalty", "wall_s"],
+        rows,
+        notes="pair and 1x1 must match exactly (degenerate equivalence); "
+              "2x2 adds cross-lender clearing with contracts.",
+    )
+
+    pair, degenerate = results[0], results[1]
+    for key in ("queuing_mean", "jct_mean", "loan_ops", "reclaim_ops"):
+        assert pair[key] == degenerate[key], (
+            f"degenerate 1x1 market diverged from the pair on {key}: "
+            f"{pair[key]} != {degenerate[key]}"
+        )
+    market = results[2]["market"]
+    assert market["contracts_opened"] >= 0
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"results": results}, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -301,10 +301,19 @@ def cmd_run(args) -> int:
         sim_overrides["record_plans"] = True
     if args.activities_out:
         sim_overrides["record_activities"] = True
+    market = None
+    if getattr(args, "clusters", None):
+        from repro.market import resolve_market
+
+        try:
+            market = resolve_market(args.clusters)
+        except (ValueError, OSError) as exc:
+            print(f"bad --clusters: {exc}", file=sys.stderr)
+            return 2
     sim = build_sim(
         setup, args.scheme, scenario=args.scenario, seed=args.seed,
         scaling_model=args.scaling_model, specs=specs, obs=obs,
-        sim_overrides=sim_overrides or None,
+        sim_overrides=sim_overrides or None, market=market,
     )
     if args.checkpoint_dir:
         _attach_recovery(sim, args)
@@ -321,6 +330,9 @@ def cmd_run(args) -> int:
     has_faults = any(
         k in sim_overrides for k in ("fault_plan", "node_mtbf")
     )
+    snapshot = None
+    if market is not None and hasattr(sim.pair, "market_snapshot"):
+        snapshot = sim.pair.market_snapshot()
     if args.json:
         data = _metrics_dict(metrics)
         if has_faults:
@@ -329,6 +341,8 @@ def cmd_run(args) -> int:
             data["resilience"] = resilience_snapshot(
                 metrics, plan=sim_overrides.get("fault_plan")
             )
+        if snapshot is not None:
+            data["market"] = snapshot
         if explain:
             data["plans"] = sim.plan_log
         print(json.dumps(data, indent=2,
@@ -338,6 +352,14 @@ def cmd_run(args) -> int:
         if has_faults:
             print(f"  faults   node failures {metrics.node_failures}   "
                   f"preemptions {metrics.preemptions}")
+        if snapshot is not None:
+            lenders = ", ".join(snapshot["lenders_used"]) or "none"
+            print(f"  market   {len(snapshot['inference_clusters'])} lenders"
+                  f" x {len(snapshot['training_regions'])} regions   "
+                  f"contracts {snapshot['contracts_opened']}   "
+                  f"early recalls {snapshot['early_recalls']}   "
+                  f"penalties {snapshot['penalties_accrued']}")
+            print(f"  lenders  {lenders}")
         if explain:
             _print_plan_summary(sim)
     if obs is not None:
@@ -961,6 +983,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--faults", default=None, metavar="PLAN",
                        help="fault plan: a builtin name (see `repro chaos "
                             "--list-plans`) or a YAML/JSON plan file")
+    run_p.add_argument("--clusters", default=None, metavar="SPEC",
+                       help="multi-cluster capacity market: 'NxM' (N "
+                            "inference lenders in staggered time zones x "
+                            "M training regions) or a market-config JSON "
+                            "file; the setup's hardware is split across "
+                            "the regions and a capacity broker clears "
+                            "the market each interval ('1x1' reproduces "
+                            "the plain pair exactly)")
     _add_fault_args(run_p)
     _add_recovery_args(run_p)
     run_p.add_argument("--resume", action="store_true",

@@ -124,35 +124,51 @@ class Cluster:
 
 
 def make_training_cluster(
-    num_servers: int, gpus_per_server: int = 8, gpu_type: GPUType = V100
+    num_servers: int,
+    gpus_per_server: int = 8,
+    gpu_type: GPUType = V100,
+    name: str = "training",
+    id_prefix: str = "train",
 ) -> Cluster:
-    """Build a homogeneous dedicated training cluster."""
+    """Build a homogeneous dedicated training cluster.
+
+    ``name``/``id_prefix`` let the capacity market build several named
+    training regions; the defaults reproduce the single-pair cluster.
+    """
     servers = [
         Server(
-            server_id=f"train-{i:04d}",
+            server_id=f"{id_prefix}-{i:04d}",
             gpu_type=gpu_type,
             num_gpus=gpus_per_server,
-            home_cluster="training",
+            home_cluster=name,
         )
         for i in range(num_servers)
     ]
-    return Cluster("training", servers)
+    return Cluster(name, servers)
 
 
 def make_inference_cluster(
-    num_servers: int, gpus_per_server: int = 8, gpu_type: GPUType = T4
+    num_servers: int,
+    gpus_per_server: int = 8,
+    gpu_type: GPUType = T4,
+    name: str = "inference",
+    id_prefix: str = "infer",
 ) -> Cluster:
-    """Build a homogeneous inference cluster."""
+    """Build a homogeneous inference cluster.
+
+    ``name``/``id_prefix`` let the capacity market build several named
+    lender clusters; the defaults reproduce the single-pair cluster.
+    """
     servers = [
         Server(
-            server_id=f"infer-{i:04d}",
+            server_id=f"{id_prefix}-{i:04d}",
             gpu_type=gpu_type,
             num_gpus=gpus_per_server,
-            home_cluster="inference",
+            home_cluster=name,
         )
         for i in range(num_servers)
     ]
-    return Cluster("inference", servers)
+    return Cluster(name, servers)
 
 
 class ClusterPair:
@@ -167,6 +183,28 @@ class ClusterPair:
     def __init__(self, training: Cluster, inference: Cluster):
         self.training = training
         self.inference = inference
+
+    def clusters(self):
+        """Every whitelist this pair manages, training first.
+
+        The resource manager's server lookup and book audits iterate
+        this instead of hardcoding ``(training, inference)``, so a
+        multi-cluster :class:`~repro.market.ClusterSet` can expose its
+        member whitelists through the same interface.
+        """
+        yield self.training
+        yield self.inference
+
+    def home_cluster_of(self, server: Server) -> Cluster:
+        """The whitelist ``server`` physically belongs to (returns there).
+
+        The pair has exactly two whitelists, so anything not homed on
+        the training side is an inference server; a multi-cluster set
+        overrides this to route by member-cluster name.
+        """
+        if server.home_cluster == self.training.name:
+            return self.training
+        return self.inference
 
     @property
     def loaned_count(self) -> int:
@@ -211,18 +249,22 @@ class ClusterPair:
         executor moves exactly those at commit, preserving the whitelist
         insertion order the count-based path would have produced.
         """
-        moved: List[Server] = []
+        # Validate every id before moving any: a bad id mid-list must
+        # not leave the whitelists half-mutated (the executor treats
+        # this as all-or-nothing, like every other plan action).
         for server_id in server_ids:
             if server_id not in self.inference:
                 raise ValueError(
                     f"server {server_id!r} is not in the inference whitelist"
                 )
-            server = self.inference.get(server_id)
-            if not server.idle:
+            if not self.inference.get(server_id).idle:
                 raise ValueError(
                     f"server {server_id!r} is busy; only idle servers "
                     f"can be loaned"
                 )
+        moved: List[Server] = []
+        for server_id in server_ids:
+            server = self.inference.get(server_id)
             self.inference.remove_server(server_id)
             server.on_loan = True
             self.training.add_server(server)
@@ -230,12 +272,18 @@ class ClusterPair:
         return moved
 
     def return_server(self, server_id: str) -> Server:
-        """Return one vacated on-loan server to the inference whitelist."""
+        """Return one vacated on-loan server to its home whitelist.
+
+        Routing consults ``server.home_cluster`` (via
+        :meth:`home_cluster_of`) rather than assuming a single lender —
+        with several inference clusters in the loan pool, every server
+        must go back to the whitelist it came from.
+        """
         server = self.training.get(server_id)
         if not server.on_loan:
             raise ValueError(f"server {server_id!r} is not on loan")
         self.training.remove_server(server_id)
         server.on_loan = False
         server.group = None
-        self.inference.add_server(server)
+        self.home_cluster_of(server).add_server(server)
         return server

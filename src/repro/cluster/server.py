@@ -28,8 +28,10 @@ class Server:
         server_id: Unique id, e.g. ``"train-0012"``.
         gpu_type: Hardware installed in this server.
         num_gpus: GPU count (8 in the paper's clusters).
-        home_cluster: ``"training"`` or ``"inference"`` — where the server
-            physically belongs and returns to after reclaiming.
+        home_cluster: Name of the cluster the server physically belongs
+            to and returns to after reclaiming — ``"training"`` or
+            ``"inference"`` in the single-pair setup, or any member
+            cluster/region name in a multi-cluster capacity market.
         on_loan: True while an inference server is whitelisted to the
             training scheduler.
         group: On-loan server group (:data:`BASE_GROUP` or
@@ -57,8 +59,11 @@ class Server:
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
             raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
-        if self.home_cluster not in ("training", "inference"):
-            raise ValueError(f"unknown home_cluster {self.home_cluster!r}")
+        if not self.home_cluster or not isinstance(self.home_cluster, str):
+            raise ValueError(
+                f"home_cluster must be a non-empty cluster name, "
+                f"got {self.home_cluster!r}"
+            )
 
     # ------------------------------------------------------------------
     # capacity

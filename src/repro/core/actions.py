@@ -143,10 +143,18 @@ class Preempt:
 @dataclass(frozen=True)
 class LoanServers:
     """Move the named idle inference servers into the training whitelist
-    (§6).  Ids are pre-picked so the commit is deterministic."""
+    (§6).  Ids are pre-picked so the commit is deterministic.
+
+    In a multi-cluster capacity market ``lender`` names the member
+    cluster the servers come from and ``borrower`` the training region
+    the loan is matched to (contracts open against it); both stay None
+    on the single-pair path.
+    """
 
     server_ids: Tuple[str, ...]
     requested: int
+    lender: Optional[str] = None
+    borrower: Optional[str] = None
 
     kind = "loan_servers"
 
@@ -174,6 +182,9 @@ class ReclaimServers:
     collateral_gpus: int = 0
     costs: Optional[Tuple[Tuple[str, float], ...]] = None
     record_metrics: bool = True
+    #: member cluster being repaid (market recalls are per lender);
+    #: None on the single-pair path
+    lender: Optional[str] = None
 
     kind = "reclaim_servers"
 
@@ -874,12 +885,20 @@ class PlanExecutor:
 
     def _commit_loan(self, action: LoanServers) -> None:
         sim = self.sim
-        moved = sim.rm.loan_selected(action.server_ids, now=sim.now)
+        moved = sim.rm.loan_selected(
+            action.server_ids, now=sim.now,
+            borrower=getattr(action, "borrower", None),
+        )
         if moved:
             server_ids = [s.server_id for s in moved]
             sim.metrics.loan_ops.append(len(moved))
+            extra = {}
+            if getattr(action, "lender", None) is not None:
+                extra["lender"] = action.lender
+            if getattr(action, "borrower", None) is not None:
+                extra["borrower"] = action.borrower
             sim.log(EventKind.LOAN, detail=server_ids,
-                    servers=server_ids, requested=action.requested)
+                    servers=server_ids, requested=action.requested, **extra)
             logger.debug("loaned %d servers at %.0f", len(moved), sim.now)
             sim.note_trigger(TRIGGER_LOAN, servers=len(moved))
             sim.trigger_schedule()
@@ -940,6 +959,9 @@ class PlanExecutor:
                 sim.metrics.collateral.append(collateral_frac)
         if returned:
             costs = dict(action.costs) if action.costs is not None else None
+            extra = {}
+            if getattr(action, "lender", None) is not None:
+                extra["lender"] = action.lender
             sim.log(
                 EventKind.RECLAIM,
                 detail={
@@ -954,6 +976,7 @@ class PlanExecutor:
                 collateral=collateral_frac,
                 preemption_costs=costs,
                 inference_driven=action.record_metrics,
+                **extra,
             )
             logger.info(
                 "reclaimed %d/%d servers at %.0f (%d preemptions, " "%d scale-ins)",

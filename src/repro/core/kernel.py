@@ -601,12 +601,22 @@ class SchedulerKernel:
         """
         engine = self._engines.get(opportunistic)
         if engine is None:
+            # In an active multi-cluster market the pair exposes a
+            # region oracle and placement turns locality-aware; the
+            # degenerate 1×1 market (and the plain pair) leaves it off,
+            # keeping placement byte-identical to the single-pair path.
+            region_of = (
+                self.pair.region_of
+                if getattr(self.pair, "market_active", False)
+                else None
+            )
             engine = PlacementEngine(
                 self.cluster,
                 special_elastic_grouping=self.config.special_elastic_grouping,
                 opportunistic=opportunistic,
                 rm=self.rm,
                 view=self.view,
+                region_of=region_of,
             )
             self._engines[opportunistic] = engine
         engine.now = self.now

@@ -312,7 +312,9 @@ class ResourceOrchestrator:
         return []
 
     # ------------------------------------------------------------------
-    def _plan_route_around(self, sim: "Simulation", demand: int) -> list:
+    def _plan_route_around(
+        self, sim: "Simulation", demand: int, home: Optional[str] = None
+    ) -> list:
         """Pick unhealthy/straggling on-loan servers to return ahead of
         the plan.
 
@@ -321,13 +323,17 @@ class ResourceOrchestrator:
         dragging its jobs down anyway.  Vacant ones are selected for
         immediate return; whatever demand remains is planned over the
         healthy candidates.  With no faults injected this scans and
-        selects nothing.  Returns ``(server_id, unhealthy, straggling)``
+        selects nothing.  ``home`` restricts the scan to one lender's
+        servers (per-lender market recalls); None — the pair default —
+        scans them all.  Returns ``(server_id, unhealthy, straggling)``
         triples; the scan is pure — the executor does the returning.
         """
         picked = []
         for server in sim.pair.training.on_loan_servers:
             if len(picked) >= demand:
                 break
+            if home is not None and server.home_cluster != home:
+                continue
             server_id = server.server_id
             unhealthy = not sim.rm.is_healthy(server_id)
             straggling = server.perf_factor < 1.0
@@ -339,20 +345,38 @@ class ResourceOrchestrator:
         return picked
 
     def _plan(self, sim: "Simulation", demand: int,
-              exclude: tuple = ()) -> ReclaimPlan:
+              exclude: tuple = (), home: Optional[str] = None) -> ReclaimPlan:
         """Delegate server selection to the configured reclaim planner.
 
         ``exclude`` holds server ids a route-around action earlier in the
         same plan will already have returned by the time this plan's
         selection commits — they are no longer candidates (the legacy
         path returned them before planning; healthy stragglers would
-        otherwise be counted twice).
+        otherwise be counted twice).  ``home`` restricts candidates to
+        one lender's on-loan servers (market recalls are per lender).
         """
         skip = set(exclude)
         candidates = [
             s for s in sim.pair.training.on_loan_servers
             if s.server_id not in skip and sim.rm.is_healthy(s.server_id)
         ]
+        if home is not None:
+            candidates = [s for s in candidates if s.home_cluster == home]
+        # Contract-aware preference: when mature contracts alone can
+        # satisfy the demand, keep immature (penalty-bearing) loans out
+        # of the candidate pool.  Only a live market has contracts with
+        # teeth; the degenerate pair skips this so selection is
+        # byte-identical to the plain ClusterPair path.
+        contracts = getattr(sim.pair, "contracts", None)
+        if contracts and getattr(sim.pair, "market_active", False):
+            now = getattr(sim.pair, "clock", 0.0)
+            mature = [
+                s for s in candidates
+                if s.server_id not in contracts
+                or contracts[s.server_id].mature(now)
+            ]
+            if len(mature) >= demand:
+                candidates = mature
         if self.reclaimer == "random":
             return plan_reclaim_random(candidates, sim.jobs, demand, rng=self.rng)
         if self.reclaimer == "scf":
@@ -367,6 +391,7 @@ class ResourceOrchestrator:
         demand: int,
         record_metrics: bool = True,
         with_costs: Optional[bool] = None,
+        lender: Optional[str] = None,
     ) -> list:
         """Turn one reclaim demand into a declarative action sequence.
 
@@ -374,22 +399,25 @@ class ResourceOrchestrator:
         returns first, then per-job scale-ins (no preemption), then the
         plan's preemptions, then the server returns with the planner's
         metrics snapshot (demand, free servers, collateral, per-server
-        preemption costs) attached for the RECLAIM log.
+        preemption costs) attached for the RECLAIM log.  ``lender``
+        scopes the whole sequence to one member cluster's servers (the
+        capacity broker recalls per lender); None is the pair behavior.
         """
         actions: list = []
-        health = self._plan_route_around(sim, demand)
+        health = self._plan_route_around(sim, demand, home=lender)
         routed_ids: tuple = ()
         if health:
             routed_ids = tuple(sid for sid, _, _ in health)
             actions.append(ReclaimServers(
                 server_ids=routed_ids, demand=demand, route_around=True,
                 health=tuple(health), record_metrics=record_metrics,
+                lender=lender,
             ))
             demand -= len(health)
             if demand <= 0:
                 return actions
         with sim.phase(PHASE_RECLAIM_PLAN):
-            plan = self._plan(sim, demand, exclude=routed_ids)
+            plan = self._plan(sim, demand, exclude=routed_ids, home=lender)
         if not plan.servers:
             return actions
         # Per-server preemption costs (Table 1's metric), captured at
@@ -437,6 +465,7 @@ class ResourceOrchestrator:
             collateral_gpus=plan.collateral_gpus,
             costs=costs,
             record_metrics=record_metrics,
+            lender=lender,
         ))
         return actions
 

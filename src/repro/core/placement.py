@@ -84,6 +84,7 @@ class PlacementEngine:
         rm: Optional["ResourceManager"] = None,
         now: float = 0.0,
         view=None,
+        region_of=None,
     ):
         self.cluster = cluster
         self.special_elastic_grouping = special_elastic_grouping
@@ -97,6 +98,11 @@ class PlacementEngine:
         #: optional ClusterView: candidate sets come from its
         #: free-capacity index instead of full cluster scans
         self.view = view
+        #: optional locality oracle (multi-cluster markets): maps a
+        #: server to the region its capacity currently serves; a job then
+        #: prefers to grow in the region hosting most of its workers,
+        #: within each domain-preference tier
+        self.region_of = region_of
 
     # ------------------------------------------------------------------
     # candidate ordering
@@ -162,6 +168,28 @@ class PlacementEngine:
             job.spec.gpus_per_worker / server.gpu_type.relative_compute
         )
 
+    def _job_region(self, job: Job) -> Optional[str]:
+        """The region hosting the plurality of this job's workers.
+
+        Ties break to the lexicographically smaller region name so the
+        answer — and therefore placement — is deterministic.  ``None``
+        (no placed workers, or no region information) disables the
+        locality rank for this job: any region is as good as any other
+        for its first worker.
+        """
+        counts: Dict[str, int] = {}
+        for placement in (job.base_placement, job.flex_placement):
+            for server_id, workers in placement.items():
+                if server_id not in self.cluster:
+                    continue
+                region = self.region_of(self.cluster.get(server_id))
+                if region is None:
+                    continue
+                counts[region] = counts.get(region, 0) + workers
+        if not counts:
+            return None
+        return min(counts, key=lambda r: (-counts[r], r))
+
     def _candidates(self, job: Job, flexible: bool) -> List[Server]:
         lock = self._gpu_type_lock(job)
         if self.view is not None:
@@ -198,7 +226,30 @@ class PlacementEngine:
         # prefer partially-used servers over empty ones to curb
         # fragmentation.  Within a tier, full-speed servers beat known
         # stragglers (perf_factor is 1.0 everywhere absent faults, so
-        # the extra key component is inert then).
+        # the extra key component is inert then).  With a locality
+        # oracle, same-region servers win among equally-packed
+        # candidates — elastic growth stays near the job's workers.
+        # Locality must stay a tie-break *below* free_gpus: ranking it
+        # above best-fit lets region affinity override packing, which
+        # fragments a scarce on-loan pool until some opportunistic
+        # job's base demand can never fit again.
+        if self.region_of is not None:
+            job_region = self._job_region(job)
+            region_of = self.region_of
+            servers.sort(
+                key=lambda s: (
+                    self._preference(job, s, flexible),
+                    -s.perf_factor,
+                    s.idle,
+                    s.free_gpus,
+                    0 if (
+                        job_region is None
+                        or region_of(s) == job_region
+                    ) else 1,
+                    s.server_id,
+                )
+            )
+            return servers
         servers.sort(
             key=lambda s: (
                 self._preference(job, s, flexible),
@@ -215,7 +266,12 @@ class PlacementEngine:
     # ------------------------------------------------------------------
     def _place_workers(self, job: Job, workers: int, flexible: bool) -> int:
         """Place up to ``workers`` workers; returns how many were placed."""
-        if getattr(self.view, "backend", None) == "array":
+        # The array twin ranks by the base key only; with a locality
+        # oracle active the list walk is authoritative for all backends.
+        if (
+            getattr(self.view, "backend", None) == "array"
+            and self.region_of is None
+        ):
             return self._place_workers_array(job, workers, flexible)
         remaining = workers
         while remaining > 0:

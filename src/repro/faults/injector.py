@@ -15,7 +15,7 @@ that introduced them.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.faults.audit import audit_simulation
 from repro.faults.plan import FaultPlan, Straggler
@@ -141,20 +141,36 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # node failures
     # ------------------------------------------------------------------
-    def _healthy_server_ids(self) -> List[str]:
-        return [
-            s.server_id
-            for s in self.sim.cluster.servers
-            if self.sim.rm.is_healthy(s.server_id)
-        ]
+    def _healthy_server_ids(self, region: Optional[str] = None) -> List[str]:
+        if region is None:
+            return [
+                s.server_id
+                for s in self.sim.cluster.servers
+                if self.sim.rm.is_healthy(s.server_id)
+            ]
+        # Regional blast radius: every server *homed* in the region,
+        # wherever its whitelist entry currently lives — a loaned server
+        # still burns down with its home region's power feed.  Scan the
+        # training whitelist first, then the inference side, so block
+        # adjacency stays whitelist-ordered.
+        ids = []
+        for cluster in (self.sim.cluster, self.sim.pair.inference):
+            for s in cluster.servers:
+                if s.home_cluster != region:
+                    continue
+                if not self.sim.rm.is_healthy(s.server_id):
+                    continue
+                if s.server_id not in ids:
+                    ids.append(s.server_id)
+        return ids
 
-    def _choose_block(self, k: int) -> List[str]:
+    def _choose_block(self, k: int, region: Optional[str] = None) -> List[str]:
         """A contiguous block of ``k`` healthy servers in whitelist order.
 
         Whitelist order is insertion order, so adjacency approximates
         rack co-location; correlated failures take down neighbours.
         """
-        healthy = self._healthy_server_ids()
+        healthy = self._healthy_server_ids(region)
         if not healthy:
             return []
         if len(healthy) <= k:
@@ -163,10 +179,14 @@ class FaultInjector:
         start = min(anchor, len(healthy) - k)
         return healthy[start:start + k]
 
-    def _fail_block(self, count: int, repair_time: float, kind: str) -> None:
-        block = self._choose_block(count)
+    def _fail_block(
+        self, count: int, repair_time: float, kind: str,
+        region: Optional[str] = None,
+    ) -> None:
+        block = self._choose_block(count, region=region)
         if not block:
-            # nothing healthy left to kill: recorded, never silent
+            # nothing healthy left to kill (or the region names no
+            # servers in this topology): recorded, never silent
             self.sim.record_failure_noop("no_healthy_servers")
         for server_id in block:
             self.sim.apply_node_failure(server_id, repair_time)
@@ -187,15 +207,19 @@ class FaultInjector:
         )
 
     def _outage(self, outage) -> None:
+        region = getattr(outage, "region", None)
+        extra = {"region": region} if region is not None else {}
         self.sim.trace(
             "fault.outage", servers=outage.servers,
-            repair_time=outage.repair_time,
+            repair_time=outage.repair_time, **extra,
         )
         # provenance: tag the next epoch with the fault-plan cause
         self.sim.note_trigger(
-            TRIGGER_FAULT, fault="outage", servers=outage.servers
+            TRIGGER_FAULT, fault="outage", servers=outage.servers, **extra,
         )
-        self._fail_block(outage.servers, outage.repair_time, "outage")
+        self._fail_block(
+            outage.servers, outage.repair_time, "outage", region=region
+        )
 
     # ------------------------------------------------------------------
     # stragglers

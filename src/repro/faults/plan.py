@@ -73,17 +73,26 @@ class NodeFailureProcess:
 
 @dataclass(frozen=True)
 class NodeOutage:
-    """A deterministic outage of ``servers`` co-located machines."""
+    """A deterministic outage of ``servers`` co-located machines.
+
+    ``region`` restricts the blast radius to servers homed in one
+    cluster/region (multi-cluster markets: a regional outage).  ``None``
+    keeps the classic behavior — any co-located block of the training
+    whitelist.
+    """
 
     at: float
     servers: int = 1
     repair_time: float = HOUR
+    region: Optional[str] = None
 
     def __post_init__(self) -> None:
         _require(self.at >= 0, f"at must be >= 0, got {self.at}")
         _require(self.servers >= 1, f"servers must be >= 1, got {self.servers}")
         _require(self.repair_time >= 0,
                  f"repair_time must be >= 0, got {self.repair_time}")
+        _require(self.region is None or bool(self.region),
+                 "region must be None or a non-empty cluster name")
 
 
 @dataclass(frozen=True)
@@ -327,6 +336,15 @@ def _builtin_plans() -> Dict[str, FaultPlan]:
             name="rack-outage",
             process=NodeFailureProcess(mtbf=12 * HOUR, repair_time=HOUR),
             outages=(NodeOutage(at=6 * HOUR, servers=3, repair_time=2 * HOUR),),
+        ),
+        # a whole region browns out (multi-cluster markets: servers homed
+        # in one member cluster fail together, wherever they are loaned)
+        "regional-outage": FaultPlan(
+            name="regional-outage",
+            outages=(
+                NodeOutage(at=4 * HOUR, servers=3, repair_time=2 * HOUR,
+                           region="infer-r0"),
+            ),
         ),
         # inference traffic spikes force reclaim storms
         "flash-crowd": FaultPlan(

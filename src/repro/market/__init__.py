@@ -1,0 +1,37 @@
+"""Multi-cluster capacity market (the Aryl direction, ROADMAP item 3).
+
+N inference clusters in different time zones lend whitelist capacity to
+M training regions through a broker that clears the market every
+scheduling interval.  The degenerate 1×1 market reproduces the plain
+:class:`~repro.cluster.cluster.ClusterPair` behavior byte-for-byte —
+pinned by the golden-log equivalence suite.
+"""
+
+from repro.market.broker import CapacityBroker
+from repro.market.cluster_set import ClusterSet, FederatedCluster
+from repro.market.contracts import HOUR, ContractTerms, LoanContract
+from repro.market.scenario import (
+    MarketBuild,
+    MarketConfig,
+    RegionSpec,
+    build_market_setup,
+    market_config_from_file,
+    market_config_from_spec,
+    resolve_market,
+)
+
+__all__ = [
+    "CapacityBroker",
+    "ClusterSet",
+    "FederatedCluster",
+    "ContractTerms",
+    "LoanContract",
+    "HOUR",
+    "MarketBuild",
+    "MarketConfig",
+    "RegionSpec",
+    "build_market_setup",
+    "market_config_from_file",
+    "market_config_from_spec",
+    "resolve_market",
+]

@@ -1,0 +1,63 @@
+"""Loan contracts for the multi-cluster capacity market.
+
+In the single-pair world a loan is an unadorned whitelist move; in a
+market of many lenders (the Aryl direction, ROADMAP item 3) each loan is
+a *contract* between a lender (an inference member cluster) and a
+borrower (a training region): it opens at a timestamp, carries a minimum
+duration, and recalling it early costs the borrower a penalty.  The
+:class:`~repro.market.cluster_set.ClusterSet` opens one contract per
+loaned server and settles it when the server returns home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ContractTerms:
+    """Market-wide default terms for new loan contracts.
+
+    Attributes:
+        min_duration: Seconds a loan should run before a recall is
+            penalty-free; whitelist churn is not free in production
+            (draining, re-imaging, scheduler resync), so the market
+            discourages flash loans.
+        recall_penalty: Cost units accrued when a server is recalled
+            before ``min_duration`` elapsed.
+    """
+
+    min_duration: float = 2 * HOUR
+    recall_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_duration < 0:
+            raise ValueError(
+                f"min_duration must be >= 0, got {self.min_duration}"
+            )
+        if self.recall_penalty < 0:
+            raise ValueError(
+                f"recall_penalty must be >= 0, got {self.recall_penalty}"
+            )
+
+
+@dataclass(frozen=True)
+class LoanContract:
+    """One open loan: a server moved from ``lender`` to ``borrower``."""
+
+    server_id: str
+    lender: str
+    borrower: str
+    start: float
+    min_duration: float = 2 * HOUR
+    recall_penalty: float = 1.0
+
+    def mature(self, now: float) -> bool:
+        """Whether recalling at ``now`` is penalty-free."""
+        return now - self.start >= self.min_duration
+
+    def penalty_at(self, now: float) -> float:
+        """The recall penalty due if the loan ends at ``now``."""
+        return 0.0 if self.mature(now) else self.recall_penalty

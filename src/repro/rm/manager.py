@@ -185,7 +185,7 @@ class ResourceManager:
         return launched
 
     def _server(self, server_id: str) -> Optional[Server]:
-        for cluster in (self.pair.training, self.pair.inference):
+        for cluster in self.pair.clusters():
             if server_id in cluster:
                 return cluster.get(server_id)
         return None
@@ -245,42 +245,81 @@ class ResourceManager:
     # ------------------------------------------------------------------
     # whitelist API (§6)
     # ------------------------------------------------------------------
+    def loan_eligible(self, server: Server) -> bool:
+        """The one loan-eligibility predicate, shared by plan and commit.
+
+        :meth:`peek_loanable` (planning) and :meth:`loan_servers`
+        (commit) both filter through here, so an eligibility change can
+        never make plans silently diverge from what commits would move.
+        Today: never loan a server that is known-unhealthy (e.g. it
+        failed while on loan and was routed back before its repair
+        finished).
+        """
+        return self.is_healthy(server.server_id)
+
     def loan_servers(self, count: int, now: float = 0.0) -> List[Server]:
-        # never loan a server that is known-unhealthy (e.g. it failed
-        # while on loan and was routed back before its repair finished)
-        moved = self.pair.loan(
-            count, eligible=lambda s: self.is_healthy(s.server_id)
-        )
+        self._note_clock(now)
+        moved = self.pair.loan(count, eligible=self.loan_eligible)
         if moved:
             self.audit.append(
                 AuditRecord(now, "loan", tuple(s.server_id for s in moved))
             )
         return moved
 
-    def peek_loanable(self, count: int) -> List[str]:
+    def peek_loanable(
+        self,
+        count: int,
+        lender: Optional[str] = None,
+        exclude: Optional[set] = None,
+    ) -> List[str]:
         """The server ids :meth:`loan_servers` would move right now.
 
         Pure read used when *planning* a loan: the commit later moves
         exactly these ids via :meth:`loan_selected`, so the plan is
         deterministic and the selection matches the legacy path's
-        (insertion-ordered idle inference servers, healthy only).
+        (insertion-ordered idle inference servers, eligible only).
+        ``lender`` restricts the scan to servers homed in one member
+        cluster; ``exclude`` skips ids already claimed by an earlier
+        action of the same plan (the capacity broker plans several loans
+        per interval against one unchanged whitelist snapshot).
         """
         ids: List[str] = []
         for server in self.pair.loanable_servers():
             if len(ids) >= count:
                 break
-            if self.is_healthy(server.server_id):
+            if lender is not None and server.home_cluster != lender:
+                continue
+            if exclude is not None and server.server_id in exclude:
+                continue
+            if self.loan_eligible(server):
                 ids.append(server.server_id)
         return ids
 
-    def loan_selected(self, server_ids, now: float = 0.0) -> List[Server]:
-        """Whitelist-move the named idle inference servers to training."""
-        moved = self.pair.loan_ids(server_ids)
+    def loan_selected(
+        self, server_ids, now: float = 0.0, borrower: Optional[str] = None
+    ) -> List[Server]:
+        """Whitelist-move the named idle inference servers to training.
+
+        ``borrower`` names the training region the loan is matched to
+        in a capacity market; the plain pair ignores it.
+        """
+        self._note_clock(now)
+        if borrower is not None:
+            moved = self.pair.loan_ids(server_ids, borrower=borrower)
+        else:
+            moved = self.pair.loan_ids(server_ids)
         if moved:
             self.audit.append(
                 AuditRecord(now, "loan", tuple(s.server_id for s in moved))
             )
         return moved
+
+    def _note_clock(self, now: float) -> None:
+        """Tell a clock-aware pair (the market's ClusterSet) what time it
+        is, so loan contracts open/close with real timestamps.  The plain
+        ClusterPair has no clock and this is a no-op."""
+        if hasattr(self.pair, "clock"):
+            self.pair.clock = now
 
     def migrate_job(
         self, job: Job, source_id: str, target: Server, now: float = 0.0
@@ -346,6 +385,7 @@ class ResourceManager:
                 f"server {server_id!r} still runs containers; the scheduler "
                 f"must confirm it is vacated before whitelist removal (§6)"
             )
+        self._note_clock(now)
         server = self.pair.return_server(server_id)
         self.audit.append(AuditRecord(now, "return", (server_id,)))
         return server
@@ -400,7 +440,7 @@ class ResourceManager:
         for container in self.running_containers():
             key = (container.server_id, container.job_id)
             expected[key] = expected.get(key, 0) + container.gpus
-        for cluster in (self.pair.training, self.pair.inference):
+        for cluster in self.pair.clusters():
             for server in cluster.servers:
                 for job_id, gpus in server.allocations.items():
                     booked = expected.pop((server.server_id, job_id), 0)
@@ -414,3 +454,19 @@ class ResourceManager:
             raise RuntimeError(
                 f"containers without server bookings: {sorted(expected)}"
             )
+
+    def whitelist_books(self) -> Dict[str, Dict[str, Tuple[int, int]]]:
+        """Per-cluster whitelist membership books.
+
+        ``{cluster_name: {server_id: (used_gpus, num_gpus)}}`` over every
+        whitelist the pair manages — the market's per-cluster accounting
+        view (and a handy debugging dump for the plain pair, whose two
+        whitelists appear under their own names).
+        """
+        books: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        for cluster in self.pair.clusters():
+            books[cluster.name] = {
+                s.server_id: (s.used_gpus, s.num_gpus)
+                for s in cluster.servers
+            }
+        return books

@@ -270,6 +270,7 @@ def build_sim(
     predictor=None,
     sim_overrides: Optional[dict] = None,
     obs: Optional[Observability] = None,
+    market=None,
     **policy_kwargs,
 ) -> Simulation:
     """Wire one (scheme, scenario) cell into a ready-to-run Simulation.
@@ -290,6 +291,11 @@ def build_sim(
         sim_overrides: Extra :class:`SimulationConfig` fields.
         obs: Observability bundle (tracer/registry/profiler); omit for
             the zero-overhead disabled default.
+        market: Optional :class:`~repro.market.MarketConfig` — split the
+            setup's hardware into a multi-cluster capacity market and
+            clear it with a :class:`~repro.market.CapacityBroker`
+            instead of the single-pair orchestrator.  A 1×1 market is
+            behavior-identical to ``market=None``.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; use one of {sorted(SCHEMES)}")
@@ -297,7 +303,19 @@ def build_sim(
     if specs is None:
         specs = apply_scenario(setup.workload.specs, scenario, seed=seed)
 
-    pair = setup.make_pair()
+    lender_traces = None
+    if market is not None:
+        # Lazy import: the market package is optional machinery and the
+        # common single-pair path should not pay for it.
+        from repro.market import build_market_setup
+
+        built = build_market_setup(setup, market, seed=seed)
+        pair = built.pair
+        trace = built.aggregate_trace
+        lender_traces = built.lender_traces
+    else:
+        pair = setup.make_pair()
+        trace = setup.inference_trace  # always present: usage accounting
     policy = make_policy(wiring["policy"], seed=seed, **policy_kwargs)
 
     params = dict(
@@ -309,15 +327,22 @@ def build_sim(
     config = SimulationConfig(**params)
 
     orchestrator = None
-    trace = setup.inference_trace  # always present: overall-usage accounting
     if wiring.get("loaning", False):
-        orchestrator = ResourceOrchestrator(
+        orch_kwargs = dict(
             reclaimer=wiring.get("reclaimer", "lyra"),
             headroom=wiring.get("headroom", 0.02),
             seed=seed,
             predictor=predictor,
             scale_in_first=config.elastic,
         )
+        if market is not None:
+            from repro.market import CapacityBroker
+
+            orchestrator = CapacityBroker(
+                lender_traces=lender_traces, **orch_kwargs
+            )
+        else:
+            orchestrator = ResourceOrchestrator(**orch_kwargs)
 
     sim = Simulation(
         specs,

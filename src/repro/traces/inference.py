@@ -115,6 +115,7 @@ def generate_inference_trace(
     trough: float = 0.42,
     peak: float = 0.95,
     burst_scale: float = 0.02,
+    peak_hour: float = 22.0,
 ) -> InferenceTrace:
     """Generate a diurnal utilization trace matching the Fig. 1 statistics.
 
@@ -131,6 +132,10 @@ def generate_inference_trace(
         trough: Target minimum utilization.
         peak: Target maximum utilization.
         burst_scale: Typical per-sample burst amplitude.
+        peak_hour: Local hour of the diurnal peak.  Inference clusters
+            in different time zones shift this (a market's lenders peak
+            at different wall-clock times, which is what makes
+            cross-region loaning profitable).
     """
     if days <= 0:
         raise ValueError(f"days must be positive, got {days}")
@@ -138,9 +143,9 @@ def generate_inference_trace(
     n = int(days * DAY / SAMPLE_INTERVAL)
     t = np.arange(n) * SAMPLE_INTERVAL
 
-    # Peak at 22:00; sharpening the positive lobe narrows the peak to a
-    # few hours while widening the pre-dawn trough.
-    phase = 2 * math.pi * (t / DAY - 22.0 / 24.0)
+    # Peak at ``peak_hour`` (22:00 by default); sharpening the positive
+    # lobe narrows the peak to a few hours while widening the trough.
+    phase = 2 * math.pi * (t / DAY - peak_hour / 24.0)
     wave = np.cos(phase)
     sharpened = np.sign(wave) * np.abs(wave) ** 0.6
 

@@ -96,15 +96,27 @@ def run_scenario(
     incremental: bool = None,
     obs=None,
     backend: str = None,
+    pair_factory=None,
+    orchestrator_factory=None,
 ) -> Simulation:
     """Run one golden scenario under a specific view backend.
 
     ``backend`` names the view implementation ("legacy", "incremental"
     or "array"); the older ``incremental`` boolean is kept for callers
     predating the array backend and maps onto legacy/incremental.
+    ``pair_factory`` / ``orchestrator_factory`` substitute drop-in
+    cluster-pair and orchestrator implementations — the market suite
+    uses them to pin the degenerate 1×1 ClusterSet + CapacityBroker
+    against these same golden digests.
     """
     if backend is None:
         backend = "legacy" if incremental is False else "incremental"
+    if pair_factory is None:
+        pair_factory = lambda: ClusterPair(  # noqa: E731
+            make_training_cluster(6), make_inference_cluster(8)
+        )
+    if orchestrator_factory is None:
+        orchestrator_factory = ResourceOrchestrator
     policy_fn, opts = SCENARIOS[name]
     specs = generate_workload(
         TraceConfig(
@@ -115,7 +127,7 @@ def run_scenario(
             target_load=opts.get("load", 0.8),
         )
     ).specs
-    pair = ClusterPair(make_training_cluster(6), make_inference_cluster(8))
+    pair = pair_factory()
     orchestrated = opts.get("orchestrated", False)
     trace = (
         generate_inference_trace(days=2.0, num_servers=8, seed=3)
@@ -134,7 +146,7 @@ def run_scenario(
         pair,
         policy_fn(),
         inference_trace=trace,
-        orchestrator=ResourceOrchestrator() if orchestrated else None,
+        orchestrator=orchestrator_factory() if orchestrated else None,
         config=config,
         obs=obs,
     )

@@ -66,8 +66,14 @@ class TestServer:
         assert server.normalized_gpus == pytest.approx(8 / 3)
 
     def test_rejects_bad_home_cluster(self):
+        # any non-empty cluster/region name is a valid home (the
+        # capacity market names its member clusters freely) ...
+        Server(server_id="x", gpu_type=V100, home_cluster="edge")
+        # ... but a missing home is still rejected
         with pytest.raises(ValueError):
-            Server(server_id="x", gpu_type=V100, home_cluster="edge")
+            Server(server_id="x", gpu_type=V100, home_cluster="")
+        with pytest.raises(ValueError):
+            Server(server_id="x", gpu_type=V100, home_cluster=None)
 
     def test_rejects_zero_gpus(self):
         with pytest.raises(ValueError):
